@@ -1,0 +1,65 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one table or figure of the paper at a
+reduced problem size (the substitution ladder is documented in
+DESIGN.md), prints the paper-vs-measured comparison, and writes it to
+``benchmarks/results/<name>.txt`` so the report survives pytest's
+output capture.
+
+Scale knob: set ``REPRO_BENCH_SCALE=large`` for problem sizes closer to
+the paper (slower); default is a laptop-friendly scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kernels.laplace import LaplaceKernel
+from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import build_lists
+from repro.workloads.distributions import cube_points, random_charges, sphere_points
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+LARGE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "large"
+
+#: scaled problem sizes; the paper used 60M (cube) / 42M (sphere) per
+#: node and 30M for the traced runs
+N_CUBE = 400_000 if LARGE else 150_000
+N_SPHERE = 280_000 if LARGE else 105_000
+N_TRACE = 200_000 if LARGE else 100_000
+
+#: the paper's refinement threshold
+THRESHOLD = 60
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+
+
+@pytest.fixture(scope="session")
+def cube_problem():
+    """The traced cube problem (Tables I/II, Figs. 4/5) at reduced N."""
+    src = cube_points(N_TRACE, seed=1)
+    tgt = cube_points(N_TRACE, seed=2)
+    w = random_charges(N_TRACE, seed=3)
+    dual = build_dual_tree(src, tgt, THRESHOLD, source_weights=w)
+    lists = build_lists(dual)
+    return src, w, tgt, dual, lists
+
+
+@pytest.fixture(scope="session")
+def cube_dag(cube_problem):
+    from repro.dashmm.evaluator import DashmmEvaluator
+
+    src, w, tgt, dual, lists = cube_problem
+    ev = DashmmEvaluator(LaplaceKernel(9), mode="phantom")
+    dag, _ = ev.build_dag(dual, lists)
+    return dag

@@ -1,0 +1,157 @@
+"""Figure 3: strong scaling of DAG evaluation, four runs.
+
+Paper setup: cube (60M points) and sphere-surface (42M) source/target
+ensembles, Laplace and Yukawa kernels, threshold 60, 3-digit accuracy,
+n = 32..4096 cores (32 per locality / Big Red II node).  Paper results:
+final scaling efficiencies at 4096 cores of 60% (cube Laplace), 74%
+(cube Yukawa), 62% (sphere Laplace), 69% (sphere Yukawa); visible
+deviation from ideal from 512 cores on; heavier (Yukawa) tasks scale
+better.
+
+Reproduction: same DAGs at reduced N through the simulated runtime in
+phantom mode (cost model calibrated from Table II).  Shape claims
+asserted: efficiency decreases with core count, Yukawa beats Laplace at
+the largest core count on the same geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import N_CUBE, N_SPHERE, THRESHOLD, write_report
+from repro.analysis.scaling import scaling_table
+from repro.dashmm import DashmmEvaluator, FmmPolicy
+from repro.hpx.runtime import RuntimeConfig
+from repro.kernels.laplace import LaplaceKernel
+from repro.sim.costmodel import CostModel
+from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import build_lists
+from repro.workloads.distributions import cube_points, random_charges, sphere_points
+
+CORE_COUNTS = [32, 64, 128, 256, 512, 1024, 2048, 4096]
+WORKERS_PER_LOCALITY = 32
+
+PAPER_EFFICIENCY_4096 = {
+    ("cube", "laplace"): 0.60,
+    ("cube", "yukawa"): 0.74,
+    ("sphere", "laplace"): 0.62,
+    ("sphere", "yukawa"): 0.69,
+}
+
+
+_PROBLEM_CACHE: dict = {}
+
+
+def _problem(geometry: str):
+    if geometry in _PROBLEM_CACHE:
+        return _PROBLEM_CACHE[geometry]
+    if geometry == "cube":
+        src = cube_points(N_CUBE, seed=1)
+        tgt = cube_points(N_CUBE, seed=2)
+        n = N_CUBE
+    else:
+        src = sphere_points(N_SPHERE, seed=1)
+        tgt = sphere_points(N_SPHERE, seed=2)
+        n = N_SPHERE
+    w = random_charges(n, seed=3)
+    dual = build_dual_tree(src, tgt, THRESHOLD, source_weights=w)
+    lists = build_lists(dual)
+    ev = DashmmEvaluator(LaplaceKernel(9), mode="phantom")
+    dag, _ = ev.build_dag(dual, lists)
+    _PROBLEM_CACHE[geometry] = (src, w, tgt, dual, lists, dag)
+    return _PROBLEM_CACHE[geometry]
+
+
+_RUN_CACHE: dict = {}
+
+
+def _scaling_run(geometry: str, kernel_name: str):
+    if (geometry, kernel_name) in _RUN_CACHE:
+        return _RUN_CACHE[(geometry, kernel_name)]
+    src, w, tgt, dual, lists, dag = _problem(geometry)
+    cm = CostModel.for_kernel(kernel_name)
+    times = {}
+    for n in CORE_COUNTS:
+        cfg = RuntimeConfig(
+            n_localities=max(1, n // WORKERS_PER_LOCALITY),
+            workers_per_locality=min(n, WORKERS_PER_LOCALITY),
+        )
+        ev = DashmmEvaluator(
+            LaplaceKernel(9),
+            mode="phantom",
+            runtime_config=cfg,
+            cost_model=cm,
+            policy=FmmPolicy(balance="work", cost_model=cm),
+        )
+        rep = ev.evaluate(src, w, tgt, dual=dual, lists=lists, dag=dag)
+        times[n] = rep.time
+    _RUN_CACHE[(geometry, kernel_name)] = times
+    return times
+
+
+@pytest.mark.parametrize(
+    "geometry,kernel_name",
+    [("cube", "laplace"), ("cube", "yukawa"), ("sphere", "laplace"), ("sphere", "yukawa")],
+)
+def test_fig3_strong_scaling(benchmark, geometry, kernel_name):
+    times = benchmark.pedantic(
+        _scaling_run, args=(geometry, kernel_name), rounds=1, iterations=1
+    )
+    rows = scaling_table(times)
+    lines = [
+        f"Figure 3 - strong scaling: {geometry} {kernel_name}",
+        f"(N={N_CUBE if geometry == 'cube' else N_SPHERE}, paper used "
+        f"{'60M' if geometry == 'cube' else '42M'}; simulated cluster, "
+        f"{WORKERS_PER_LOCALITY} cores/locality)",
+        f"{'n':>6} {'t_n [s]':>12} {'speedup':>9} {'efficiency':>11}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['cores']:>6} {r['time']:>12.5f} {r['speedup']:>9.2f} {r['efficiency']:>11.2%}"
+        )
+    paper = PAPER_EFFICIENCY_4096[(geometry, kernel_name)]
+    measured = rows[-1]["efficiency"]
+    lines.append(
+        f"final efficiency at n={CORE_COUNTS[-1]}: measured {measured:.0%}, "
+        f"paper {paper:.0%} (at 4096 cores, 60/42M points)"
+    )
+    write_report(f"fig3_{geometry}_{kernel_name}", lines)
+
+    # shape claims.  Note the starvation point: the paper has ~14.6k
+    # points/core at 4096 cores; at our reduced N the same core count
+    # leaves <100 points/core, so efficiencies fall off earlier - the
+    # *shape* (decline setting in at mid core counts, heavier kernels
+    # holding up better) is the reproduced quantity.
+    effs = [r["efficiency"] for r in rows]
+    assert effs[0] == pytest.approx(1.0)
+    assert effs[-1] < 0.95, "efficiency must degrade at scale"
+    assert effs[-1] > 0.10, "but the method must still scale usefully"
+    # monotone-ish decline (allow small wiggle)
+    assert all(b <= a + 0.05 for a, b in zip(effs, effs[1:]))
+
+
+def test_fig3_yukawa_scales_better_than_laplace(benchmark):
+    """Heavier grain -> better scaling (the paper's headline contrast)."""
+
+    compare_at = 4096  # the paper's contrast point: the gap opens at scale
+
+    def run():
+        out = {}
+        for kern in ("laplace", "yukawa"):
+            times = _scaling_run("cube", kern)
+            eff = scaling_table(times)
+            out[kern] = next(r["efficiency"] for r in eff if r["cores"] == compare_at)
+        return out
+
+    effs = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "fig3_grain_contrast",
+        [
+            "Figure 3 - grain-size contrast at 4096 cores (cube)",
+            f"laplace efficiency: {effs['laplace']:.2%}",
+            f"yukawa  efficiency: {effs['yukawa']:.2%}",
+            "paper: 60% vs 74% at 4096 cores",
+        ],
+    )
+    assert effs["yukawa"] > effs["laplace"]

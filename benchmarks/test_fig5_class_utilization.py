@@ -1,0 +1,80 @@
+"""Figure 5: utilization fraction by operation class, 128-core run.
+
+Paper setup: 30M cube, Laplace, 128 cores, 100 uniform intervals.
+Panels: (top) operations up the source tree (S->M, M->M), (middle)
+source-to-target bridge (M->I, I->I, I->L), (bottom) final-value
+operations (S->T, L->L, L->T).  Paper findings:
+
+* S->M / M->M work is smeared out up to ~83% of the execution (no way
+  to tell HPX-5 it is critical), though its absolute amount is small;
+* I->I dominates and runs at a constant fraction up to the
+  underutilized region (communication well hidden);
+* the final L->L / L->T work explodes only after the bottleneck at the
+  top of the target tree clears - the utilization rises sharply and the
+  pathology ends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import N_TRACE, write_report
+from repro.analysis.critical_path import GROUPS
+from repro.analysis.utilization import class_utilization, underutilized_region, total_utilization
+from repro.dashmm import DashmmEvaluator, FmmPolicy
+from repro.hpx.runtime import RuntimeConfig
+from repro.kernels.laplace import LaplaceKernel
+from repro.sim.costmodel import CostModel
+
+
+def _run(cube_problem, cube_dag):
+    src, w, tgt, dual, lists = cube_problem
+    cm = CostModel()
+    cfg = RuntimeConfig(n_localities=4, workers_per_locality=32)  # 128 cores
+    ev = DashmmEvaluator(
+        LaplaceKernel(9),
+        mode="phantom",
+        runtime_config=cfg,
+        cost_model=cm,
+        policy=FmmPolicy(balance="work", cost_model=cm),
+    )
+    rep = ev.evaluate(src, w, tgt, dual=dual, lists=lists, dag=cube_dag)
+    fks = class_utilization(rep.tracer, 128, rep.time, 100)
+    fk = total_utilization(rep.tracer, 128, rep.time, 100)
+    return rep.time, fk, fks
+
+
+def test_fig5_class_utilization(benchmark, cube_problem, cube_dag):
+    t, fk, fks = benchmark.pedantic(
+        _run, args=(cube_problem, cube_dag), rounds=1, iterations=1
+    )
+    dip = underutilized_region(fk)
+    lines = [
+        f"Figure 5 - per-class utilization f_k^(i), 128 cores (N={N_TRACE} cube,"
+        f" Laplace; t={t:.4f}s; paper: 30M over 17.6s)",
+        f"underutilized region: bins {dip}",
+    ]
+    for panel, ops in (("up", GROUPS["up"]), ("bridge", ("M2I", "I2I", "I2L")),
+                       ("down", GROUPS["down"])):
+        lines.append(f"--- {panel} panel ---")
+        for op in ops:
+            if op in fks:
+                lines.append(f"{op:>4}: " + " ".join(f"{v:.2f}" for v in fks[op][::5]))
+    write_report("fig5_class_utilization", lines)
+
+    # S->M work is smeared far into the execution (the paper's central
+    # scheduling observation: critical work delayed to ~83%)
+    s2m = fks["S2M"]
+    nz = np.nonzero(s2m > 1e-3)[0]
+    assert nz[-1] > 50, "S2M should be scheduled deep into the execution"
+    # the up-panel's absolute magnitude is small next to I2I
+    assert fks["S2M"].max() + fks["M2M"].max() < fks["I2I"].max() + fks["S2T"].max()
+    # I2I holds a roughly constant plateau in mid-execution
+    mid = fks["I2I"][30:60]
+    assert mid.std() < 0.35 * max(mid.mean(), 1e-9)
+    # the final-value burst: L2T mass is concentrated late
+    l2t = fks["L2T"]
+    total_mass = l2t.sum()
+    late_mass = l2t[60:].sum()
+    assert late_mass > 0.8 * total_mass, "L->T explodes only near the end"

@@ -1,0 +1,107 @@
+"""Table I: count, size and min/max in-/out-degree of DAG nodes.
+
+Paper setup: 30M source + 30M target points uniform in a cube,
+threshold 60 (13.8M nodes, 129M edges).  The quantities are purely
+structural - they depend only on the dual tree - so the reproduction
+(a) measures them on the scaled cube problem and (b) computes the
+paper-scale counts analytically for the uniform cube (a complete
+depth-7 octree at 30M points), cross-checking the closed form against
+the measured tree.
+
+Paper values (for reference in the report):
+
+    S  2097148   32-1920 B  din 0/0    dout 9/28
+    M  2396732   880 B      din 1/8    dout 1/2
+    Is 2396732   5472 B     din 1/1    dout 7/26
+    It 2396672   25536 B    din 56/208 dout 1/8
+    L  2396672   880 B      din 1/2    dout 1/8
+    T  2097152   40-2400 B  din 9/28   dout 0/0
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import N_TRACE, THRESHOLD, write_report
+from repro.sim.costmodel import SizeModel
+
+PAPER_TABLE1 = {
+    "S": dict(count=2097148, size="32-1920", din="0/0", dout="9/28"),
+    "M": dict(count=2396732, size="880", din="1/8", dout="1/2"),
+    "Is": dict(count=2396732, size="5472", din="1/1", dout="7/26"),
+    "It": dict(count=2396672, size="25536", din="56/208", dout="1/8"),
+    "L": dict(count=2396672, size="880", din="1/2", dout="1/8"),
+    "T": dict(count=2097152, size="40-2400", din="9/28", dout="0/0"),
+}
+
+
+def paper_scale_structural_counts(n_points: int = 30_000_000, threshold: int = 60):
+    """Closed-form node counts for the uniform cube at paper scale.
+
+    A uniform cube refines until boxes hold <= threshold points: depth
+    d* = ceil(log8(N / threshold)); the complete octree then has 8^d*
+    leaves and sum_{l<=d*} 8^l boxes.
+    """
+    import math
+
+    d = math.ceil(math.log(n_points / threshold, 8))
+    leaves = 8**d
+    boxes = (8 ** (d + 1) - 1) // 7
+    return {
+        "depth": d,
+        "leaves": leaves,
+        "boxes": boxes,
+        # Is/It/L exist for boxes at levels >= 2 (no list 2 above)
+        "expansion_boxes": boxes - 1 - 8,
+    }
+
+
+def test_table1_dag_nodes(benchmark, cube_dag):
+    stats = benchmark.pedantic(
+        lambda: cube_dag.node_stats(size_model=SizeModel()), rounds=1, iterations=1
+    )
+    lines = [
+        f"Table I - DAG node statistics (measured at N={N_TRACE}, threshold {THRESHOLD};"
+        " paper at N=30M)",
+        f"{'type':>4} {'count':>9} {'size [B]':>12} {'din':>9} {'dout':>9}   paper(count/size/din/dout)",
+    ]
+    for kind in ("S", "M", "Is", "It", "L", "T"):
+        st = stats[kind]
+        p = PAPER_TABLE1[kind]
+        size = (
+            f"{st['size_min']}-{st['size_max']}"
+            if st["size_min"] != st["size_max"]
+            else f"{st['size_min']}"
+        )
+        lines.append(
+            f"{kind:>4} {st['count']:>9} {size:>12} "
+            f"{st['din_min']}/{st['din_max']:>4} {st['dout_min']}/{st['dout_max']:>4}"
+            f"   {p['count']}/{p['size']}/{p['din']}/{p['dout']}"
+        )
+    s = paper_scale_structural_counts()
+    lines += [
+        "",
+        "paper-scale structural cross-check (uniform cube, 30M points, threshold 60):",
+        f"  predicted depth {s['depth']} (paper tree: leaves at depth 7)",
+        f"  predicted leaves {s['leaves']} vs paper S count {PAPER_TABLE1['S']['count']}"
+        " (4 empty leaves pruned)",
+        f"  predicted total boxes {s['boxes']} vs paper M count {PAPER_TABLE1['M']['count']}",
+    ]
+    write_report("table1_dag_nodes", lines)
+
+    # structural claims that must transfer across scales
+    assert stats["S"]["din_min"] == stats["S"]["din_max"] == 0
+    assert stats["T"]["dout_min"] == stats["T"]["dout_max"] == 0
+    assert stats["Is"]["din_min"] == stats["Is"]["din_max"] == 1  # one M2I
+    assert stats["M"]["count"] >= stats["Is"]["count"]
+    assert stats["It"]["din_max"] > stats["M"]["din_max"], (
+        "intermediate nodes dominate connectivity (paper: It din up to 208)"
+    )
+    # Is is the largest expansion payload (message-size hierarchy)
+    assert SizeModel().node_bytes("Is") > SizeModel().node_bytes("M")
+    # paper-scale closed form matches the paper's counts to within the
+    # handful of pruned empty boxes
+    s = paper_scale_structural_counts()
+    assert s["depth"] == 7
+    assert abs(s["leaves"] - PAPER_TABLE1["S"]["count"]) <= 8
+    assert abs(s["boxes"] - PAPER_TABLE1["M"]["count"]) <= 16

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Extending DASHMM with a user-defined kernel.
+
+DASHMM's design objective is genericity: "the exact method and
+interaction used are parameters, and the parallelization ... is
+agnostic to many of these specific details".  Because every box-to-box
+translation operator is constructed numerically from the kernel's
+particle-side operators (see repro.kernels.fitops), adding a kernel
+only requires the spherical-expansion primitives.
+
+This example defines a *dipole-screened* kernel G(r) = e^{-lam r}/r +
+alpha/r as a superposition handled through the generic machinery, runs
+it through the full AMT evaluation path, and checks against direct
+summation.  (Any kernel expressible in the regular/singular
+spherical-harmonic basis works the same way.)
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.dashmm import DashmmEvaluator
+from repro.hpx.runtime import RuntimeConfig
+from repro.kernels.base import Kernel
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.yukawa import YukawaKernel
+from repro.methods.direct import direct_potentials
+
+
+class ScreenedPlusCoulomb(Kernel):
+    """G(r) = e^{-lam r}/r + alpha/r: short-range screening on top of a
+    residual long-range Coulomb tail (a toy colloid interaction).
+
+    The expansions are the concatenation of the two component bases;
+    linearity does the rest, and the fitted operators never notice.
+    """
+
+    name = "screened+coulomb"
+    scale_variant = True  # the Yukawa part is
+
+    def __init__(self, p: int, lam: float = 3.0, alpha: float = 0.25):
+        super().__init__(p)
+        self.lam = lam
+        self.alpha = alpha
+        self._yk = YukawaKernel(p, lam=lam)
+        self._lp = LaplaceKernel(p)
+        self.size = self._yk.size + self._lp.size  # stacked coefficients
+
+    def greens(self, r: np.ndarray) -> np.ndarray:
+        return self._yk.greens(r) + self.alpha * self._lp.greens(r)
+
+    def p2m_matrix(self, rel, scale):
+        return np.hstack(
+            [self._yk.p2m_matrix(rel, scale), self.alpha * self._lp.p2m_matrix(rel, scale)]
+        )
+
+    def p2l_matrix(self, rel, scale):
+        return np.hstack(
+            [self._yk.p2l_matrix(rel, scale), self.alpha * self._lp.p2l_matrix(rel, scale)]
+        )
+
+    def m2t_matrix(self, rel, scale):
+        return np.hstack(
+            [self._yk.m2t_matrix(rel, scale), self._lp.m2t_matrix(rel, scale)]
+        )
+
+    def l2t_matrix(self, rel, scale):
+        return np.hstack(
+            [self._yk.l2t_matrix(rel, scale), self._lp.l2t_matrix(rel, scale)]
+        )
+
+    # exponential representation: t(lam) differs per component, so this
+    # toy kernel opts out of merge-and-shift and runs the basic FMM.
+
+    def level_key(self, scale: float):
+        return round(float(self.lam * scale), 12)
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    n = 2500
+    sources = rng.uniform(0, 1, (n, 3))
+    charges = rng.normal(size=n)
+    targets = rng.uniform(0, 1, (n, 3))
+
+    kernel = ScreenedPlusCoulomb(p=10, lam=3.0, alpha=0.25)
+    evaluator = DashmmEvaluator(
+        kernel,
+        method="fmm-basic",  # 8-operator FMM: no exponential machinery needed
+        threshold=40,
+        runtime_config=RuntimeConfig(n_localities=2, workers_per_locality=4),
+    )
+    report = evaluator.evaluate(sources, charges, targets)
+
+    exact = direct_potentials(kernel, targets[:400], sources, charges)
+    err = np.linalg.norm(report.potentials[:400] - exact) / np.linalg.norm(exact)
+    print(f"user-defined kernel '{kernel.name}' through the generic API")
+    print(f"relative L2 error       : {err:.2e}")
+    print(f"virtual evaluation time : {report.time * 1e3:.2f} ms")
+    assert err < 1e-3
+    print("OK - no runtime- or method-specific code was touched")
+
+
+if __name__ == "__main__":
+    main()

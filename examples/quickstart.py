@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate Coulomb potentials with the generic DASHMM API.
+
+Builds a small random charge cloud, evaluates the Laplace (1/r)
+potential at a distinct set of target points with the advanced FMM on
+the asynchronous many-tasking runtime, and checks the result against
+direct summation - the 3-digit accuracy the paper requires.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.dashmm import DashmmEvaluator
+from repro.hpx.runtime import RuntimeConfig
+from repro.kernels import LaplaceKernel
+from repro.methods.direct import direct_potentials
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n = 4000
+    sources = rng.uniform(0.0, 1.0, size=(n, 3))
+    charges = rng.normal(size=n)
+    targets = rng.uniform(0.0, 1.0, size=(n, 3))
+
+    kernel = LaplaceKernel(p=10)  # expansion order; p=10 ~ 1e-4 accuracy
+    evaluator = DashmmEvaluator(
+        kernel,
+        method="fmm",  # advanced FMM with merge-and-shift
+        threshold=60,  # the paper's refinement threshold
+        runtime_config=RuntimeConfig(n_localities=4, workers_per_locality=8),
+    )
+
+    print(f"evaluating {n} sources -> {n} targets on a simulated "
+          f"{evaluator.runtime_config.total_cores}-core cluster ...")
+    report = evaluator.evaluate(sources, charges, targets)
+
+    exact = direct_potentials(kernel, targets[:500], sources, charges)
+    err = np.linalg.norm(report.potentials[:500] - exact) / np.linalg.norm(exact)
+
+    print(f"relative L2 error vs direct summation : {err:.2e}")
+    print(f"virtual evaluation time               : {report.time * 1e3:.2f} ms")
+    print(f"tasks executed                        : {report.runtime_stats['tasks_run']}")
+    print(f"work steals                           : {report.runtime_stats['steals']}")
+    print(f"parcels sent                          : {report.runtime_stats['parcels_sent']}")
+    print(f"remote traffic                        : "
+          f"{report.runtime_stats['remote_bytes'] / 1e6:.2f} MB")
+    assert err < 1e-3, "accuracy target missed"
+    print("OK - 3-digit accuracy achieved through the AMT execution path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Screened Coulomb (Yukawa) potentials on disjoint ensembles.
+
+The scale-variant Yukawa kernel e^{-lam r}/r is the paper's second
+interaction type; here the source ensemble is a charged spherical shell
+and the targets are a separate probe plane - the partially-overlapping /
+disjoint dual-tree case of Fig. 1a, exercising the adaptive lists
+(M->T, S->L) and, if the probe is far enough, target-subtree pruning.
+
+Run:  python examples/screened_coulomb.py
+"""
+
+import numpy as np
+
+from repro.dashmm import DashmmEvaluator
+from repro.hpx.runtime import RuntimeConfig
+from repro.kernels import YukawaKernel
+from repro.methods.direct import direct_potentials
+from repro.workloads.distributions import sphere_points
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    n_src, n_tgt = 3000, 2000
+
+    # a charged shell (e.g. a screened macro-ion surface)
+    sources = sphere_points(n_src, seed=2, radius=0.4)
+    charges = rng.normal(size=n_src) + 0.5
+
+    # a probe plane beside the shell: disjoint target ensemble
+    targets = np.column_stack(
+        [
+            np.full(n_tgt, 1.6),
+            rng.uniform(-0.2, 1.0, n_tgt),
+            rng.uniform(-0.2, 1.0, n_tgt),
+        ]
+    )
+
+    kernel = YukawaKernel(p=10, lam=2.0)
+    evaluator = DashmmEvaluator(
+        kernel,
+        method="fmm",
+        threshold=40,
+        runtime_config=RuntimeConfig(n_localities=2, workers_per_locality=8),
+    )
+    report = evaluator.evaluate(sources, charges, targets)
+
+    exact = direct_potentials(kernel, targets[:400], sources, charges)
+    err = np.linalg.norm(report.potentials[:400] - exact) / np.linalg.norm(exact)
+
+    es = report.dag.edge_stats()
+    print(f"Yukawa (lam={kernel.lam}) shell -> probe plane")
+    print(f"relative L2 error          : {err:.2e}")
+    print(f"virtual evaluation time    : {report.time * 1e3:.2f} ms")
+    print("DAG edge classes           :", {k: v["count"] for k, v in sorted(es.items())})
+    if report.lists is not None:
+        print("adaptive list sizes        :", report.lists.counts())
+        print("pruned target sub-trees    :", len(report.lists.pruned))
+    assert err < 1e-3
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

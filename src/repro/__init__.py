@@ -1,0 +1,28 @@
+"""repro: reproduction of "Scalable Hierarchical Multipole Methods using
+an Asynchronous Many-Tasking Runtime System" (IPDPSW 2017).
+
+Public entry points:
+
+* :class:`repro.dashmm.DashmmEvaluator` - the generic HMM evaluator on
+  the simulated AMT runtime (the paper's DASHMM).
+* :class:`repro.methods.FmmEvaluator` / :class:`repro.methods.BarnesHutEvaluator`
+  - synchronous reference implementations.
+* :mod:`repro.kernels` - Laplace / Yukawa / user-defined kernels.
+* :mod:`repro.hpx` - the HPX-5-like runtime itself.
+"""
+
+__version__ = "1.0.0"
+
+from repro.dashmm import DashmmEvaluator
+from repro.kernels import LaplaceKernel, YukawaKernel
+from repro.methods import BarnesHutEvaluator, FmmEvaluator, direct_potentials
+
+__all__ = [
+    "DashmmEvaluator",
+    "LaplaceKernel",
+    "YukawaKernel",
+    "FmmEvaluator",
+    "BarnesHutEvaluator",
+    "direct_potentials",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Trace and scaling analysis: Eq. (1)-(2) utilization, speedups, critical path."""
+
+from repro.analysis.utilization import (
+    class_utilization,
+    total_utilization,
+    underutilized_region,
+)
+from repro.analysis.scaling import efficiency, speedup, scaling_table
+from repro.analysis.critical_path import dag_critical_path, op_group
+from repro.analysis.parallelism import (
+    bottleneck_round,
+    fanout_after_bottleneck,
+    wavefront_profile,
+)
+
+__all__ = [
+    "total_utilization",
+    "class_utilization",
+    "underutilized_region",
+    "speedup",
+    "efficiency",
+    "scaling_table",
+    "dag_critical_path",
+    "op_group",
+    "wavefront_profile",
+    "bottleneck_round",
+    "fanout_after_bottleneck",
+]

@@ -1,0 +1,64 @@
+"""Critical-path analysis of the explicit DAG (Section V.C).
+
+The paper divides the FMM DAG into three operation groups: work moving
+up the source tree (S->M, M->M), work bridging source to target tree
+(M->I, I->I, I->L, M->L, M->T, S->L), and work moving down the target
+tree to the final values (S->T, L->L, L->T).  The critical path runs up
+the source tree and back down the target tree, which is why delaying
+the (cheap) upward work throttles the whole evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.dashmm.dag import DAG
+from repro.sim.costmodel import CostModel
+
+GROUPS = {
+    "up": ("S2M", "M2M"),
+    "bridge": ("M2I", "I2I", "I2L", "M2L", "M2T", "S2L"),
+    "down": ("S2T", "L2L", "L2T"),
+}
+
+
+def op_group(op: str) -> str:
+    """Which of the paper's three groups an edge class belongs to."""
+    for g, ops in GROUPS.items():
+        if op in ops:
+            return g
+    raise ValueError(f"unknown op {op}")
+
+
+def dag_critical_path(dag: DAG, cost_model: CostModel | None = None) -> dict:
+    """Critical-path length in edge count and (optionally) in seconds.
+
+    With a cost model, edge weights are the per-edge costs (point counts
+    taken from the source/destination nodes), giving the minimum
+    possible evaluation time on infinitely many cores.
+    """
+    hops = dag.critical_path_length()
+    out = {"edges": hops}
+    if cost_model is not None:
+
+        def w(e):
+            s = dag.nodes[e.src]
+            t = dag.nodes[e.dst]
+            return cost_model.edge_cost(e.op, n_src=max(s.n_points, 1), n_tgt=max(t.n_points, 1))
+
+        out["seconds"] = dag.critical_path_length(cost_fn=w)
+    return out
+
+
+def work_by_group(dag: DAG, cost_model: CostModel) -> dict[str, float]:
+    """Total work (seconds of task time) per operation group.
+
+    Quantifies the paper's observation that the absolute amount of
+    upward work is small compared to the bridge and downward groups.
+    """
+    acc = {g: 0.0 for g in GROUPS}
+    for edges in dag.out_edges:
+        for e in edges:
+            s, t = dag.nodes[e.src], dag.nodes[e.dst]
+            acc[op_group(e.op)] += cost_model.edge_cost(
+                e.op, n_src=max(s.n_points, 1), n_tgt=max(t.n_points, 1)
+            )
+    return acc

@@ -1,0 +1,36 @@
+"""Strong-scaling bookkeeping for Fig. 3 style experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def speedup(times: dict[int, float], base_cores: int | None = None) -> dict[int, float]:
+    """Speedup relative to the smallest (or given) core count.
+
+    The paper plots ``t_32 / t_n`` - speedup relative to one node.
+    """
+    if not times:
+        return {}
+    base = base_cores if base_cores is not None else min(times)
+    t0 = times[base]
+    return {n: t0 / t for n, t in sorted(times.items())}
+
+
+def efficiency(times: dict[int, float], base_cores: int | None = None) -> dict[int, float]:
+    """Parallel efficiency: speedup divided by the core-count ratio."""
+    if not times:
+        return {}
+    base = base_cores if base_cores is not None else min(times)
+    sp = speedup(times, base)
+    return {n: sp[n] / (n / base) for n in sp}
+
+
+def scaling_table(times: dict[int, float], base_cores: int | None = None) -> list[dict]:
+    """Rows of (cores, time, speedup, efficiency) for reporting."""
+    sp = speedup(times, base_cores)
+    eff = efficiency(times, base_cores)
+    return [
+        {"cores": n, "time": times[n], "speedup": sp[n], "efficiency": eff[n]}
+        for n in sorted(times)
+    ]

@@ -1,0 +1,35 @@
+"""DASHMM: the Dynamic Adaptive System for Hierarchical Multipole Methods.
+
+The framework layer of the reproduction (Section IV of the paper): it
+builds an *explicit DAG* of expansion nodes and operator edges from the
+dual tree and interaction lists, assigns DAG nodes to localities with a
+*distribution policy*, instantiates the *implicit DAG* as a network of
+user-defined expansion LCOs on the HPX-5-like runtime, and evaluates it
+by parallel dataflow with coalesced parcels for remote edges.
+
+The public entry point is :class:`repro.dashmm.evaluator.DashmmEvaluator`,
+whose interface is independent of the runtime - end users never touch
+:mod:`repro.hpx` directly, mirroring DASHMM's design objective.
+"""
+
+from repro.dashmm.dag import DAG, DagNode, build_fmm_dag, build_bh_dag
+from repro.dashmm.distribution import (
+    BlockPolicy,
+    FmmPolicy,
+    RandomPolicy,
+    partition_points,
+)
+from repro.dashmm.evaluator import DashmmEvaluator, EvaluationReport
+
+__all__ = [
+    "DAG",
+    "DagNode",
+    "build_fmm_dag",
+    "build_bh_dag",
+    "FmmPolicy",
+    "RandomPolicy",
+    "BlockPolicy",
+    "partition_points",
+    "DashmmEvaluator",
+    "EvaluationReport",
+]

@@ -1,0 +1,306 @@
+"""The explicit DAG: expansion nodes and operator edges (Section IV).
+
+DASHMM builds two representations of the DAG: this explicit one, used
+during partitioning and distribution (and for the statistics of Tables
+I and II), and the implicit LCO network built from it by
+:mod:`repro.dashmm.registrar`.
+
+Node classes follow Table I: ``S`` (source leaf data), ``M`` (multipole
+expansion), ``Is`` (source-side intermediate expansion), ``It``
+(target-side intermediate expansion), ``L`` (local expansion) and ``T``
+(target leaf data).  Edge classes follow Table II, plus the basic-FMM
+and adaptive-list operators (M2L, M2T, S2L) the traced cube run happens
+not to exercise.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.expo import assign_direction
+from repro.tree.dualtree import DualTree
+from repro.tree.lists import InteractionLists
+from repro.tree.morton import decode_morton
+
+NODE_KINDS = ("S", "M", "Is", "It", "L", "T")
+EDGE_OPS = ("S2T", "S2M", "M2M", "M2L", "M2I", "I2I", "I2L", "L2L", "L2T", "M2T", "S2L")
+
+
+@dataclass
+class DagNode:
+    """One node of the explicit DAG."""
+
+    id: int
+    kind: str
+    box_index: int  # index into the owning tree's box table
+    level: int
+    tree: str  # "source" | "target"
+    n_points: int = 0  # for S/T nodes
+    locality: int = -1  # assigned by the distribution policy
+
+
+@dataclass
+class Edge:
+    """One DAG edge: ``aux`` carries operator geometry (octant, delta, dir)."""
+
+    src: int
+    dst: int
+    op: str
+    aux: object = None
+
+
+@dataclass
+class DAG:
+    """Explicit DAG: node table plus edges grouped by out-node."""
+
+    nodes: list[DagNode] = field(default_factory=list)
+    out_edges: list[list[Edge]] = field(default_factory=list)
+    in_degree: list[int] = field(default_factory=list)
+    # node lookup: (kind, box_index) -> node id, per kind
+    index: dict[str, dict[int, int]] = field(
+        default_factory=lambda: {k: {} for k in NODE_KINDS}
+    )
+
+    def add_node(self, kind: str, box_index: int, level: int, tree: str, n_points: int = 0) -> int:
+        nid = len(self.nodes)
+        self.nodes.append(
+            DagNode(id=nid, kind=kind, box_index=box_index, level=level, tree=tree, n_points=n_points)
+        )
+        self.out_edges.append([])
+        self.in_degree.append(0)
+        self.index[kind][box_index] = nid
+        return nid
+
+    def add_edge(self, src: int, dst: int, op: str, aux=None) -> None:
+        self.out_edges[src].append(Edge(src=src, dst=dst, op=op, aux=aux))
+        self.in_degree[dst] += 1
+
+    # -- statistics (Tables I and II) -------------------------------------------
+    def node_stats(self, size_model=None) -> dict[str, dict]:
+        """Per-kind count, size range and in/out-degree range (Table I)."""
+        by_kind: dict[str, list[DagNode]] = defaultdict(list)
+        for n in self.nodes:
+            by_kind[n.kind].append(n)
+        out_deg = [len(e) for e in self.out_edges]
+        stats = {}
+        for kind in NODE_KINDS:
+            ns = by_kind.get(kind, [])
+            if not ns:
+                continue
+            ids = [n.id for n in ns]
+            din = [self.in_degree[i] for i in ids]
+            dout = [out_deg[i] for i in ids]
+            entry = {
+                "count": len(ns),
+                "din_min": min(din),
+                "din_max": max(din),
+                "dout_min": min(dout),
+                "dout_max": max(dout),
+            }
+            if size_model is not None:
+                sizes = [size_model.node_bytes(kind, n_points=n.n_points) for n in ns]
+                entry["size_min"] = min(sizes)
+                entry["size_max"] = max(sizes)
+            stats[kind] = entry
+        return stats
+
+    def edge_stats(self, size_model=None) -> dict[str, dict]:
+        """Per-op count and message-size range (Table II)."""
+        counts: dict[str, int] = defaultdict(int)
+        smin: dict[str, int] = {}
+        smax: dict[str, int] = {}
+        for edges in self.out_edges:
+            for e in edges:
+                counts[e.op] += 1
+                if size_model is not None:
+                    npts = self.nodes[e.src].n_points
+                    b = size_model.payload_bytes(e.op, n_src_points=npts)
+                    smin[e.op] = min(smin.get(e.op, b), b)
+                    smax[e.op] = max(smax.get(e.op, b), b)
+        out = {}
+        for op, c in counts.items():
+            entry = {"count": c}
+            if size_model is not None:
+                entry["size_min"] = smin[op]
+                entry["size_max"] = smax[op]
+            out[op] = entry
+        return out
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(e) for e in self.out_edges)
+
+    def critical_path_length(self, cost_fn=None) -> float:
+        """Longest path through the DAG (unit edge cost by default)."""
+        order = self._topological_order()
+        dist = [0.0] * len(self.nodes)
+        for nid in order:
+            for e in self.out_edges[nid]:
+                w = 1.0 if cost_fn is None else cost_fn(e)
+                if dist[nid] + w > dist[e.dst]:
+                    dist[e.dst] = dist[nid] + w
+        return max(dist) if dist else 0.0
+
+    def _topological_order(self) -> list[int]:
+        indeg = list(self.in_degree)
+        stack = [n.id for n in self.nodes if indeg[n.id] == 0]
+        order = []
+        while stack:
+            nid = stack.pop()
+            order.append(nid)
+            for e in self.out_edges[nid]:
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    stack.append(e.dst)
+        if len(order) != len(self.nodes):
+            raise RuntimeError("DAG has a cycle")
+        return order
+
+
+def _lattice(key: int) -> tuple[int, int, int]:
+    _, x, y, z = decode_morton(key)
+    return x, y, z
+
+
+def _dead_below_pruned(tree, pruned: set[int]) -> set[int]:
+    """Indices of boxes strictly below any pruned box."""
+    dead: set[int] = set()
+    for b in tree.boxes:  # BFS order: parents precede children
+        pi = tree.key_to_index[b.parent] if b.parent is not None else None
+        if pi is not None and (pi in pruned or pi in dead):
+            dead.add(b.index)
+    return dead
+
+
+def build_fmm_dag(dual: DualTree, lists: InteractionLists, advanced: bool = True) -> DAG:
+    """Build the explicit FMM DAG (basic 8-operator or advanced 11-operator)."""
+    src, tgt = dual.source, dual.target
+    dag = DAG()
+    dead = _dead_below_pruned(tgt, lists.pruned)
+
+    # --- source side: S nodes at leaves, M everywhere -------------------------
+    for b in src.boxes:
+        dag.add_node("M", b.index, b.level, "source")
+    for b in src.boxes:
+        if b.is_leaf and b.count > 0:
+            s = dag.add_node("S", b.index, b.level, "source", n_points=b.count)
+            dag.add_edge(s, dag.index["M"][b.index], "S2M")
+    for b in src.boxes:
+        if b.parent is not None:
+            pi = src.key_to_index[b.parent]
+            dag.add_edge(
+                dag.index["M"][b.index], dag.index["M"][pi], "M2M", aux=b.key & 7
+            )
+
+    # --- target side: L for live boxes at level >= 2, T at eval boxes ----------
+    for b in tgt.boxes:
+        if b.index in dead:
+            continue
+        if b.level >= 2:
+            dag.add_node("L", b.index, b.level, "target")
+    for b in tgt.boxes:
+        if b.index in dead:
+            continue
+        if (b.is_leaf or b.index in lists.pruned) and b.count > 0:
+            t = dag.add_node("T", b.index, b.level, "target", n_points=b.count)
+            if b.index in dag.index["L"]:
+                dag.add_edge(dag.index["L"][b.index], t, "L2T")
+    # L2L downward
+    for b in tgt.boxes:
+        if b.index not in dag.index["L"] or b.level < 3:
+            continue
+        pi = tgt.key_to_index[b.parent]
+        if pi in dag.index["L"]:
+            dag.add_edge(
+                dag.index["L"][pi], dag.index["L"][b.index], "L2L", aux=b.key & 7
+            )
+
+    # --- list 2 ------------------------------------------------------------------
+    if advanced:
+        # group pairs by (target box); create Is/It lazily
+        for ti, sis in lists.l2.items():
+            t = tgt.boxes[ti]
+            tx, ty, tz = _lattice(t.key)
+            if ti not in dag.index["It"]:
+                it = dag.add_node("It", ti, t.level, "target")
+                dag.add_edge(it, dag.index["L"][ti], "I2L")
+            it = dag.index["It"][ti]
+            for si in sis:
+                s = src.boxes[si]
+                sx, sy, sz = _lattice(s.key)
+                delta = (tx - sx, ty - sy, tz - sz)
+                d = assign_direction(delta)
+                if si not in dag.index["Is"]:
+                    isid = dag.add_node("Is", si, s.level, "source")
+                    dag.add_edge(dag.index["M"][si], isid, "M2I")
+                dag.add_edge(dag.index["Is"][si], it, "I2I", aux=(d, delta))
+    else:
+        for ti, sis in lists.l2.items():
+            t = tgt.boxes[ti]
+            tx, ty, tz = _lattice(t.key)
+            for si in sis:
+                s = src.boxes[si]
+                sx, sy, sz = _lattice(s.key)
+                delta = (tx - sx, ty - sy, tz - sz)
+                dag.add_edge(
+                    dag.index["M"][si], dag.index["L"][ti], "M2L", aux=delta
+                )
+
+    # --- adaptive lists -------------------------------------------------------------
+    for ti, sis in lists.l3.items():
+        t = dag.index["T"].get(ti)
+        if t is None:
+            continue
+        for si in sis:
+            dag.add_edge(dag.index["M"][si], t, "M2T")
+    for ti, sis in lists.l4.items():
+        for si in sis:
+            s_node = dag.index["S"].get(si)
+            if s_node is None:
+                continue
+            dag.add_edge(s_node, dag.index["L"][ti], "S2L")
+    for ti, sis in lists.l1.items():
+        t = dag.index["T"].get(ti)
+        if t is None:
+            continue
+        for si in sis:
+            s_node = dag.index["S"].get(si)
+            if s_node is None:
+                continue
+            dag.add_edge(s_node, t, "S2T")
+
+    return dag
+
+
+def build_bh_dag(dual: DualTree, mac_pairs: dict[int, list[tuple[str, int]]]) -> DAG:
+    """Explicit DAG for Barnes-Hut.
+
+    ``mac_pairs`` maps target leaf box index -> list of ("M2T"|"S2T",
+    source box index) decisions from the MAC traversal.
+    """
+    src, tgt = dual.source, dual.target
+    dag = DAG()
+    for b in src.boxes:
+        dag.add_node("M", b.index, b.level, "source")
+    for b in src.boxes:
+        if b.is_leaf and b.count > 0:
+            s = dag.add_node("S", b.index, b.level, "source", n_points=b.count)
+            dag.add_edge(s, dag.index["M"][b.index], "S2M")
+    for b in src.boxes:
+        if b.parent is not None:
+            pi = src.key_to_index[b.parent]
+            dag.add_edge(dag.index["M"][b.index], dag.index["M"][pi], "M2M", aux=b.key & 7)
+    for ti, ops in mac_pairs.items():
+        t_box = tgt.boxes[ti]
+        t = dag.add_node("T", ti, t_box.level, "target", n_points=t_box.count)
+        for op, si in ops:
+            if op == "M2T":
+                dag.add_edge(dag.index["M"][si], t, "M2T")
+            else:
+                s_node = dag.index["S"].get(si)
+                if s_node is not None:
+                    dag.add_edge(s_node, t, "S2T")
+    return dag

@@ -1,0 +1,190 @@
+"""Distribution policies: mapping the explicit DAG onto localities.
+
+The paper constrains the distribution so that nodes representing the
+multipole expansion of a source leaf (and the local expansion of a
+target leaf) match the a-priori data distribution: points are sorted at
+a coarse level and split equally across localities, so each locality
+owns a contiguous Morton range of each ensemble.
+
+The policy evaluated in Section V ("designed for FMMs that implement
+the merge-and-shift technique") additionally fixes every source box's
+multipole/intermediate node and every target box's local node to the
+locality owning that box, and places the *target intermediate* node to
+minimize communication while adding slack - implemented here as
+majority-vote over the localities of its incoming I2I edges (ties to
+the target box's owner).
+
+``RandomPolicy`` and ``BlockPolicy`` are ablation baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dashmm.dag import DAG
+from repro.tree.dualtree import DualTree
+
+
+def partition_points(n_points: int, n_localities: int) -> np.ndarray:
+    """Split indices [0, n) into ``n_localities`` near-equal chunks.
+
+    Returns the array of chunk boundaries (length n_localities + 1),
+    mirroring the paper's coarse sort + equal distribution.
+    """
+    return np.linspace(0, n_points, n_localities + 1).astype(np.int64)
+
+
+def box_owner(box, bounds: np.ndarray) -> int:
+    """Locality owning a box: the owner of its middle point.
+
+    Boxes hold contiguous Morton ranges, so this agrees with the data
+    distribution at the leaves and is a sensible majority rule above.
+    """
+    mid = (box.start + box.stop) // 2 if box.count > 0 else box.start
+    loc = int(np.searchsorted(bounds, mid, side="right") - 1)
+    return min(max(loc, 0), len(bounds) - 2)
+
+
+class DistributionPolicy:
+    """Base class: assigns ``node.locality`` for every DAG node.
+
+    ``balance="count"`` splits each ensemble into equal point counts
+    (the paper's coarse sort + equal distribution).  ``balance="work"``
+    splits at equal estimated *work* instead, using the cost model to
+    weight each box's operations; the paper observes its workloads are
+    well-balanced ("each locality reaching the region at the same
+    time"), and at reduced problem sizes the work split is what
+    recovers that property.
+    """
+
+    name = "base"
+
+    def __init__(self, balance: str = "count", cost_model=None):
+        if balance not in ("count", "work"):
+            raise ValueError("balance must be 'count' or 'work'")
+        self.balance = balance
+        self.cost_model = cost_model
+
+    def assign(self, dag: DAG, dual: DualTree, n_localities: int) -> None:
+        raise NotImplementedError
+
+    def _owners(self, dag: DAG, dual: DualTree, n_localities: int):
+        if self.balance == "work":
+            src_bounds, tgt_bounds = self._work_bounds(dag, dual, n_localities)
+        else:
+            src_bounds = partition_points(dual.source.n_points, n_localities)
+            tgt_bounds = partition_points(dual.target.n_points, n_localities)
+        src_owner = [box_owner(b, src_bounds) for b in dual.source.boxes]
+        tgt_owner = [box_owner(b, tgt_bounds) for b in dual.target.boxes]
+        return src_owner, tgt_owner
+
+    def _work_bounds(self, dag: DAG, dual: DualTree, n_localities: int):
+        from repro.sim.costmodel import CostModel
+
+        cm = self.cost_model or CostModel()
+        src_box_work = np.zeros(len(dual.source.boxes))
+        tgt_box_work = np.zeros(len(dual.target.boxes))
+        for edges in dag.out_edges:
+            for e in edges:
+                s, t = dag.nodes[e.src], dag.nodes[e.dst]
+                c = cm.edge_cost(
+                    e.op, n_src=max(s.n_points, 1), n_tgt=max(t.n_points, 1)
+                )
+                # source-tree operations execute where the source box
+                # lives; everything else lands target-side
+                if e.op in ("S2M", "M2M", "M2I", "I2I"):
+                    src_box_work[s.box_index] += c
+                else:
+                    tgt_box_work[t.box_index] += c
+
+        def bounds_for(tree, box_work):
+            pt = np.zeros(tree.n_points)
+            for b in tree.boxes:
+                if b.count > 0 and box_work[b.index] > 0:
+                    pt[b.start : b.stop] += box_work[b.index] / b.count
+            cw = np.cumsum(pt)
+            total = cw[-1] if len(cw) else 0.0
+            if total <= 0:
+                return partition_points(tree.n_points, n_localities)
+            cuts = [0]
+            for i in range(1, n_localities):
+                cuts.append(int(np.searchsorted(cw, total * i / n_localities)))
+            cuts.append(tree.n_points)
+            return np.array(cuts, dtype=np.int64)
+
+        return bounds_for(dual.source, src_box_work), bounds_for(dual.target, tgt_box_work)
+
+
+class FmmPolicy(DistributionPolicy):
+    """The paper's merge-and-shift distribution policy."""
+
+    name = "fmm"
+
+    def assign(self, dag: DAG, dual: DualTree, n_localities: int) -> None:
+        src_owner, tgt_owner = self._owners(dag, dual, n_localities)
+        # pass 1: everything except It is fixed to the owning locality
+        for n in dag.nodes:
+            owner = src_owner if n.tree == "source" else tgt_owner
+            n.locality = owner[n.box_index]
+        # pass 2: It placed by incoming-traffic majority (comm cost), ties
+        # to the target owner (slack: stays near its consumer)
+        incoming: dict[int, dict[int, int]] = {}
+        for edges in dag.out_edges:
+            for e in edges:
+                if e.op == "I2I":
+                    src_loc = dag.nodes[e.src].locality
+                    incoming.setdefault(e.dst, {}).setdefault(src_loc, 0)
+                    incoming[e.dst][src_loc] += 1
+        for n in dag.nodes:
+            if n.kind != "It":
+                continue
+            votes = incoming.get(n.id)
+            if not votes:
+                continue
+            owner = tgt_owner[n.box_index]
+            best = max(votes.items(), key=lambda kv: (kv[1], kv[0] == owner))
+            n.locality = best[0]
+
+
+class BlockPolicy(DistributionPolicy):
+    """Everything at the owning locality (no It optimization)."""
+
+    name = "block"
+
+    def assign(self, dag: DAG, dual: DualTree, n_localities: int) -> None:
+        src_owner, tgt_owner = self._owners(dag, dual, n_localities)
+        for n in dag.nodes:
+            owner = src_owner if n.tree == "source" else tgt_owner
+            n.locality = owner[n.box_index]
+
+
+class RandomPolicy(DistributionPolicy):
+    """Random placement of internal nodes (leaf data stays fixed).
+
+    A deliberately bad baseline: the constraint on leaf S/M and leaf
+    L/T nodes is honoured, everything else scatters uniformly.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 999, balance: str = "count", cost_model=None):
+        super().__init__(balance=balance, cost_model=cost_model)
+        self.seed = seed
+
+    def assign(self, dag: DAG, dual: DualTree, n_localities: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        src_owner, tgt_owner = self._owners(dag, dual, n_localities)
+        src, tgt = dual.source, dual.target
+        for n in dag.nodes:
+            owner = src_owner if n.tree == "source" else tgt_owner
+            tree = src if n.tree == "source" else tgt
+            box = tree.boxes[n.box_index]
+            fixed = (
+                n.kind in ("S", "T")
+                or (n.kind == "M" and box.is_leaf)
+                or (n.kind == "L" and box.is_leaf)
+            )
+            if fixed:
+                n.locality = owner[n.box_index]
+            else:
+                n.locality = int(rng.integers(0, n_localities))

@@ -1,0 +1,393 @@
+"""The implicit DAG: expansion LCOs, out-edge processing, coalescing.
+
+This module realizes Section IV and Fig. 2 of the paper.  Every DAG
+node with inputs becomes a user-defined *expansion LCO* storing both
+the expansion data and the out-edge list.  During execution the LCO
+continuously reduces arriving inputs into the stored expansion; when
+the last input arrives it triggers and its single registered
+continuation processes the out-edge list:
+
+* *local* edges (target on the same locality) are transformed
+  sequentially and set into their target LCOs, which may trigger
+  further asynchronous evaluation;
+* *remote* edges are coalesced: one active-message parcel per
+  destination locality carries the expansion data and the relevant
+  edges, which are then evaluated at the destination as normal
+  (``coalesce=False`` sends one parcel per edge instead - the ablation
+  of the paper's design choice).
+
+Source (S) nodes have no inputs; an initial task per source leaf
+processes their out-edges (S->M, S->T, S->L) at time zero.  Execution
+modes:
+
+* ``numeric`` - edge transforms really compute (fitted operators,
+  kernel evaluations); the result is numerically identical to the
+  synchronous FMM up to summation order.
+* ``phantom`` - transforms are skipped, only costs/messages are
+  simulated; used for paper-scale scaling studies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.dashmm.dag import DAG, DagNode
+from repro.hpx.lco import LCO
+from repro.hpx.parcel import Parcel
+from repro.hpx.runtime import Runtime
+from repro.hpx.scheduler import HIGH, LOW, Task
+from repro.kernels.fitops import OperatorFactory
+from repro.sim.costmodel import CostModel, SizeModel
+
+#: With the binary priority extension on (Section VI), the expansion
+#: pipeline - everything that unlocks downstream dataflow - outranks the
+#: abundant leaf-output work (S->T, M->T, L->T), which any idle core can
+#: do at any time.  The paper frames this as "early execution of the
+#: most critical work up the source tree ... overlapped with other less
+#: critical work"; simulation shows the whole critical chain (upward
+#: plus bridge plus L->L) must be promoted for the starved region to
+#: disappear.
+CRITICAL_OPS = ("S2M", "M2M", "M2I", "I2I", "I2L", "M2L", "L2L", "S2L")
+FILLER_OPS = ("S2T", "M2T", "L2T")
+
+
+class ExpansionLCO(LCO):
+    """User-defined LCO: expansion data + DAG out-edge list (Fig. 2)."""
+
+    def __init__(self, runtime, locality: int, node: DagNode, n_inputs: int, registrar):
+        super().__init__(runtime, locality)
+        self.node = node
+        self.remaining = n_inputs
+        self.registrar = registrar
+        self.data = None
+
+    def _reduce(self, value) -> None:
+        self.remaining -= 1
+        if value is None:
+            return
+        if self.node.kind == "It":
+            # per-direction plane-wave accumulators
+            direction, amps = value
+            if self.data is None:
+                self.data = {}
+            if direction in self.data:
+                self.data[direction] = self.data[direction] + amps
+            else:
+                self.data[direction] = amps
+        else:
+            self.data = value if self.data is None else self.data + value
+
+    def _predicate(self) -> bool:
+        return self.remaining <= 0
+
+
+class Registrar:
+    """Builds and runs the implicit LCO network for one evaluation."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        dag: DAG,
+        dual,
+        kernel,
+        factory: OperatorFactory | None,
+        mode: str = "numeric",
+        cost_model: CostModel | None = None,
+        size_model: SizeModel | None = None,
+        coalesce: bool = True,
+        sequential_edges: bool = True,
+    ):
+        if mode not in ("numeric", "phantom"):
+            raise ValueError("mode must be 'numeric' or 'phantom'")
+        if mode == "numeric" and factory is None:
+            raise ValueError("numeric mode needs an operator factory")
+        self.runtime = runtime
+        self.dag = dag
+        self.dual = dual
+        self.kernel = kernel
+        self.factory = factory
+        self.mode = mode
+        self.cost = cost_model or CostModel()
+        self.sizes = size_model or SizeModel()
+        self.coalesce = coalesce
+        #: Section VI: "the sequential execution of out edges maximizes
+        #: cache locality ... but sacrifices parallelism".  False spawns
+        #: one task per local edge instead (the road not taken).
+        self.sequential_edges = sequential_edges
+        self.lcos: dict[int, ExpansionLCO] = {}
+        self.result = np.zeros(dual.target.n_points) if dual is not None else None
+        self._centers = {
+            "source": np.array([dual.domain.box_center(b.key) for b in dual.source.boxes]),
+            "target": np.array([dual.domain.box_center(b.key) for b in dual.target.boxes]),
+        }
+        runtime.register_action("dashmm_edges", self._edges_action)
+
+    # -- allocation (Fig. 2, t0/t1) ------------------------------------------------
+    def allocate(self) -> None:
+        """Allocate an LCO per DAG node with inputs; register continuations."""
+        for node in self.dag.nodes:
+            n_in = self.dag.in_degree[node.id]
+            if node.kind == "S" or n_in == 0:
+                continue
+            lco = ExpansionLCO(self.runtime, node.locality, node, n_in, self)
+            self.lcos[node.id] = lco
+            pr = self._node_priority(node)
+            lco.register_continuation(
+                Task(
+                    fn=self._continuation,
+                    args=(node.id,),
+                    op_class=f"edges:{node.kind}",
+                    priority=pr,
+                )
+            )
+
+    def initial_tasks(self) -> int:
+        """Enqueue the time-zero tasks (out-edges of every S node)."""
+        count = 0
+        priorities = self.runtime.config.priorities
+        for node in self.dag.nodes:
+            if node.kind != "S":
+                continue
+            edges = self.dag.out_edges[node.id]
+            if not edges:
+                continue
+            if priorities:
+                # split critical-path work (S->M, S->L) from the near
+                # field so the scheduler favours the expansion pipeline
+                crit = [e for e in edges if e.op in CRITICAL_OPS]
+                rest = [e for e in edges if e.op not in CRITICAL_OPS]
+                groups = [(crit, HIGH), (rest, LOW)]
+            else:
+                groups = [(edges, LOW)]
+            for group, pr in groups:
+                if not group:
+                    continue
+                self.runtime.enqueue_task(
+                    Task(
+                        fn=self._process_edges,
+                        args=(node.id, group),
+                        op_class="edges:S",
+                        priority=pr,
+                    ),
+                    node.locality,
+                )
+                count += 1
+        return count
+
+    def _node_priority(self, node: DagNode) -> int:
+        """Expansion nodes drive the critical chain; leaf data does not."""
+        if not self.runtime.config.priorities:
+            return LOW
+        return HIGH if node.kind in ("M", "Is", "It", "L") else LOW
+
+    # -- execution ---------------------------------------------------------------------
+    def _continuation(self, ctx, node_id: int) -> None:
+        node = self.dag.nodes[node_id]
+        edges = self.dag.out_edges[node_id]
+        if self.runtime.config.priorities and node.kind in ("M", "Is", "It", "L"):
+            # run the critical chain inline at high priority, defer the
+            # leaf-output edges (M->T, L->T) to a low-priority sibling
+            crit = [e for e in edges if e.op in CRITICAL_OPS]
+            rest = [e for e in edges if e.op not in CRITICAL_OPS]
+            self._process_edges(ctx, node_id, crit)
+            if rest:
+                ctx.spawn(
+                    Task(
+                        fn=self._process_edges,
+                        args=(node_id, rest),
+                        op_class=f"edges:{node.kind}",
+                        priority=LOW,
+                    )
+                )
+        else:
+            self._process_edges(ctx, node_id, edges)
+        if node.kind == "T" and self.mode == "numeric":
+            box = self.dual.target.boxes[node.box_index]
+            lco = self.lcos[node_id]
+            if lco.data is not None:
+                self.result[box.start : box.stop] = lco.data
+
+    def _process_edges(self, ctx, node_id: int, edges) -> None:
+        node = self.dag.nodes[node_id]
+        all_edges = self.dag.out_edges[node_id]
+        # positions within the node's full out-edge list travel in parcels
+        pos = {id(e): i for i, e in enumerate(all_edges)}
+        by_loc: dict[int, list] = defaultdict(list)
+        for e in edges:
+            by_loc[self.dag.nodes[e.dst].locality].append(e)
+        here = ctx.locality
+        for loc, group in sorted(by_loc.items()):
+            if loc == here:
+                if self.sequential_edges:
+                    for e in group:
+                        self._run_edge(ctx, e)
+                else:
+                    for e in group:
+                        ctx.spawn(
+                            Task(
+                                fn=self._run_edge_task,
+                                args=(e,),
+                                op_class=e.op,
+                                priority=self._edge_priority([e]),
+                            )
+                        )
+            elif self.coalesce:
+                data_bytes = self.sizes.payload_bytes(
+                    group[0].op, n_src_points=node.n_points
+                )
+                nbytes = self.sizes.parcel_bytes(data_bytes, len(group))
+                ctx.charge("_runtime", self.cost.remote_handling_cost(len(group), nbytes))
+                ctx.send_parcel(
+                    Parcel(
+                        action="dashmm_edges",
+                        target=loc,
+                        args=(node_id, tuple(pos[id(e)] for e in group)),
+                        size_bytes=nbytes,
+                        op_class="parcel:edges",
+                        priority=self._edge_priority(group),
+                    )
+                )
+            else:
+                for e in group:
+                    data_bytes = self.sizes.payload_bytes(e.op, n_src_points=node.n_points)
+                    nb1 = self.sizes.parcel_bytes(data_bytes, 1)
+                    ctx.charge("_runtime", self.cost.remote_handling_cost(1, nb1))
+                    ctx.send_parcel(
+                        Parcel(
+                            action="dashmm_edges",
+                            target=loc,
+                            args=(node_id, (pos[id(e)],)),
+                            size_bytes=nb1,
+                            op_class="parcel:edges",
+                            priority=self._edge_priority([e]),
+                        )
+                    )
+
+    def _edge_priority(self, edges) -> int:
+        if not self.runtime.config.priorities:
+            return LOW
+        return HIGH if any(e.op in CRITICAL_OPS for e in edges) else LOW
+
+    def _run_edge_task(self, ctx, e) -> None:
+        self._run_edge(ctx, e)
+
+    def _edges_action(self, ctx, target, node_id: int, edge_indices) -> None:
+        """Parcel action: evaluate coalesced remote edges at the destination."""
+        edges = self.dag.out_edges[node_id]
+        for i in edge_indices:
+            self._run_edge(ctx, edges[i])
+
+    # -- edge transforms ------------------------------------------------------------------
+    def _run_edge(self, ctx, e) -> None:
+        src_node = self.dag.nodes[e.src]
+        dst_node = self.dag.nodes[e.dst]
+        op = e.op
+        value = None
+        if op == "S2T":
+            sbox = self.dual.source.boxes[src_node.box_index]
+            tbox = self.dual.target.boxes[dst_node.box_index]
+            ctx.charge(op, self.cost.edge_cost(op, n_src=sbox.count, n_tgt=tbox.count))
+            if self.mode == "numeric":
+                value = self.kernel.direct(
+                    self.dual.target.points[tbox.start : tbox.stop],
+                    self.dual.source.points[sbox.start : sbox.stop],
+                    self.dual.source.weights[sbox.start : sbox.stop],
+                )
+        elif op == "S2M":
+            sbox = self.dual.source.boxes[src_node.box_index]
+            ctx.charge(op, self.cost.edge_cost(op, n_src=sbox.count))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(sbox.level)
+                rel = (
+                    self.dual.source.points[sbox.start : sbox.stop]
+                    - self._centers["source"][sbox.index]
+                ) / h
+                value = self.kernel.p2m(
+                    rel, self.dual.source.weights[sbox.start : sbox.stop], h
+                )
+        elif op == "S2L":
+            sbox = self.dual.source.boxes[src_node.box_index]
+            tbox = self.dual.target.boxes[dst_node.box_index]
+            ctx.charge(op, self.cost.edge_cost(op, n_src=sbox.count))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(tbox.level)
+                rel = (
+                    self.dual.source.points[sbox.start : sbox.stop]
+                    - self._centers["target"][tbox.index]
+                ) / h
+                value = self.kernel.p2l(
+                    rel, self.dual.source.weights[sbox.start : sbox.stop], h
+                )
+        elif op == "M2M":
+            ctx.charge(op, self.cost.edge_cost(op))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(src_node.level)
+                value = self.factory.m2m(e.aux, h) @ self.lcos[e.src].data
+        elif op == "M2L":
+            ctx.charge(op, self.cost.edge_cost(op))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(src_node.level)
+                value = self.factory.m2l(e.aux, h) @ self.lcos[e.src].data
+        elif op == "M2I":
+            ctx.charge(op, self.cost.edge_cost(op))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(src_node.level)
+                dirs = {
+                    ee.aux[0] for ee in self.dag.out_edges[e.dst] if ee.op == "I2I"
+                }
+                M = self.lcos[e.src].data
+                value = {d: self.factory.m2i(d, h) @ M for d in dirs}
+        elif op == "I2I":
+            ctx.charge(op, self.cost.edge_cost(op))
+            if self.mode == "numeric":
+                d, delta = e.aux
+                h = self.dual.domain.box_size(src_node.level)
+                W = self.lcos[e.src].data[d]
+                value = (d, W * self.factory.i2i(d, delta, h))
+        elif op == "I2L":
+            ctx.charge(op, self.cost.edge_cost(op))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(src_node.level)
+                acc = None
+                data = self.lcos[e.src].data or {}
+                for d, V in data.items():
+                    c = self.factory.i2l(d, h) @ V
+                    acc = c if acc is None else acc + c
+                value = (
+                    acc
+                    if acc is not None
+                    else np.zeros(self.kernel.size, dtype=complex)
+                )
+        elif op == "L2L":
+            ctx.charge(op, self.cost.edge_cost(op))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(src_node.level)
+                value = self.factory.l2l(e.aux, h) @ self.lcos[e.src].data
+        elif op == "L2T":
+            tbox = self.dual.target.boxes[dst_node.box_index]
+            ctx.charge(op, self.cost.edge_cost(op, n_tgt=tbox.count))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(src_node.level)
+                rel = (
+                    self.dual.target.points[tbox.start : tbox.stop]
+                    - self._centers["target"][src_node.box_index]
+                ) / h
+                value = self.kernel.l2t(self.lcos[e.src].data, rel, h)
+        elif op == "M2T":
+            sbox = self.dual.source.boxes[src_node.box_index]
+            tbox = self.dual.target.boxes[dst_node.box_index]
+            ctx.charge(op, self.cost.edge_cost(op, n_tgt=tbox.count))
+            if self.mode == "numeric":
+                h = self.dual.domain.box_size(sbox.level)
+                rel = (
+                    self.dual.target.points[tbox.start : tbox.stop]
+                    - self._centers["source"][sbox.index]
+                ) / h
+                value = self.kernel.m2t(self.lcos[e.src].data, rel, h)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown edge op {op}")
+        ctx.lco_set(self.lcos[e.dst], value)
+
+

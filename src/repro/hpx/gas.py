@@ -1,0 +1,81 @@
+"""Global address space (Section III).
+
+HPX-5 exposes a global shared-memory abstraction: global allocation,
+address resolution, and asynchronous memput/memget.  Global addresses
+are the targets of parcels, and localities are mapped into the address
+space so messages can target them by index.
+
+Here a :class:`GlobalAddress` is an opaque (locality, slot) pair.  The
+statically partitioned configuration used in the paper ("HPX-5 was
+configured with a statically partitioned global address space") means
+an address's home locality never changes, which is what this
+implementation provides.  Resolution (`translate`) only succeeds on the
+home locality - remote access must go through parcels or memget,
+exactly the discipline DASHMM has to follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class GlobalAddress:
+    """An address in the global address space: (home locality, slot)."""
+
+    locality: int
+    slot: int
+
+    def __repr__(self) -> str:  # compact, shows up in traces/debugging
+        return f"ga({self.locality}:{self.slot})"
+
+
+class GlobalAddressSpace:
+    """Statically partitioned GAS with per-locality heaps."""
+
+    def __init__(self, n_localities: int):
+        if n_localities < 1:
+            raise ValueError("need at least one locality")
+        self.n_localities = n_localities
+        self._heaps: list[dict[int, Any]] = [dict() for _ in range(n_localities)]
+        self._next: list[int] = [0] * n_localities
+
+    def alloc(self, locality: int, obj: Any = None) -> GlobalAddress:
+        """Allocate a slot on ``locality`` holding ``obj``."""
+        self._check(locality)
+        slot = self._next[locality]
+        self._next[locality] += 1
+        self._heaps[locality][slot] = obj
+        return GlobalAddress(locality, slot)
+
+    def alloc_cyclic(self, count: int, objs=None) -> list[GlobalAddress]:
+        """Block-cyclic allocation across localities (one per locality,
+        round-robin), mirroring HPX-5's cyclic allocator."""
+        out = []
+        for i in range(count):
+            obj = objs[i] if objs is not None else None
+            out.append(self.alloc(i % self.n_localities, obj))
+        return out
+
+    def translate(self, addr: GlobalAddress, at_locality: int) -> Any:
+        """Resolve a global address to its object - home locality only."""
+        if addr.locality != at_locality:
+            raise ValueError(
+                f"cannot translate {addr} at locality {at_locality}: "
+                "remote access must use parcels/memget"
+            )
+        return self._heaps[addr.locality][addr.slot]
+
+    def put_local(self, addr: GlobalAddress, obj: Any, at_locality: int) -> None:
+        """Replace the object at ``addr`` - home locality only."""
+        if addr.locality != at_locality:
+            raise ValueError(f"cannot put to {addr} from locality {at_locality}")
+        self._heaps[addr.locality][addr.slot] = obj
+
+    def free(self, addr: GlobalAddress) -> None:
+        self._heaps[addr.locality].pop(addr.slot, None)
+
+    def _check(self, locality: int) -> None:
+        if not (0 <= locality < self.n_localities):
+            raise ValueError(f"locality {locality} out of range")

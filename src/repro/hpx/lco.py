@@ -1,0 +1,120 @@
+"""Local control objects (LCOs): event-driven dataflow synchronization.
+
+An LCO is a lightweight, globally addressable synchronization object
+that co-locates data and control (Section III): it has *input slots*, a
+*predicate* that decides when it is triggered, and *continuations*
+(dependent tasks) that run once it triggers.  HPX-5 ships futures and
+reductions and permits user-defined classes; DASHMM's expansion LCO
+(:mod:`repro.dashmm.registrar`) is such a user-defined class.
+
+Semantics mirrored here:
+
+* inputs arrive through :meth:`TaskContext.lco_set` (applied when the
+  setting task completes) and are folded in by :meth:`_reduce`;
+* after each input the :meth:`_predicate` is checked; on the first True
+  the LCO triggers and all registered continuations are spawned as
+  lightweight threads on the LCO's home locality;
+* continuations registered *after* triggering run immediately - that is
+  what lets DASHMM backfill out-edges concurrently with execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.hpx.scheduler import Task
+
+
+class LCO:
+    """Base LCO.  Subclasses override ``_reduce`` and ``_predicate``."""
+
+    def __init__(self, runtime, locality: int):
+        self.runtime = runtime
+        self.locality = locality
+        self.triggered = False
+        self._continuations: list[Task] = []
+        self.addr = runtime.gas.alloc(locality, self)
+
+    # -- protocol for subclasses ------------------------------------------------
+    def _reduce(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def _predicate(self) -> bool:
+        raise NotImplementedError
+
+    # -- runtime-facing ---------------------------------------------------------
+    def _apply_set(self, value: Any, t: float, scheduler) -> None:
+        """Fold one input in at time ``t``; trigger if the predicate holds."""
+        if self.triggered:
+            raise RuntimeError("input arrived at an already-triggered LCO")
+        self._reduce(value)
+        if self._predicate():
+            self.triggered = True
+            for task in self._continuations:
+                scheduler.enqueue(task, self.locality, t)
+            self._continuations.clear()
+
+    def register_continuation(self, task: Task) -> None:
+        """Attach a dependent task; runs at trigger (or now if triggered)."""
+        if self.triggered:
+            sched = self.runtime.scheduler
+            sched.enqueue(task, self.locality, sched.now)
+        else:
+            self._continuations.append(task)
+
+    def on_trigger(self, fn: Callable, *args, op_class: str = "continuation", cost: float | None = 0.0, priority: int = 1) -> None:
+        """Convenience: register ``fn(ctx, *args)`` as a continuation."""
+        self.register_continuation(
+            Task(fn=fn, args=args, op_class=op_class, cost=cost, priority=priority)
+        )
+
+
+class Future(LCO):
+    """Single-assignment LCO: triggers on its first (only) input."""
+
+    def __init__(self, runtime, locality: int):
+        super().__init__(runtime, locality)
+        self.value: Any = None
+        self._set = False
+
+    def _reduce(self, value: Any) -> None:
+        self.value = value
+        self._set = True
+
+    def _predicate(self) -> bool:
+        return self._set
+
+
+class AndLCO(LCO):
+    """Triggers after a fixed number of inputs (values are discarded)."""
+
+    def __init__(self, runtime, locality: int, n_inputs: int):
+        if n_inputs < 1:
+            raise ValueError("AndLCO needs at least one input")
+        super().__init__(runtime, locality)
+        self.remaining = n_inputs
+
+    def _reduce(self, value: Any) -> None:
+        self.remaining -= 1
+
+    def _predicate(self) -> bool:
+        return self.remaining == 0
+
+
+class ReductionLCO(LCO):
+    """Folds ``n_inputs`` values with ``op`` starting from ``init``."""
+
+    def __init__(self, runtime, locality: int, n_inputs: int, op: Callable, init: Any):
+        if n_inputs < 1:
+            raise ValueError("ReductionLCO needs at least one input")
+        super().__init__(runtime, locality)
+        self.remaining = n_inputs
+        self.op = op
+        self.value = init
+
+    def _reduce(self, value: Any) -> None:
+        self.value = self.op(self.value, value)
+        self.remaining -= 1
+
+    def _predicate(self) -> bool:
+        return self.remaining == 0

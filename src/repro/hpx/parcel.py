@@ -1,0 +1,46 @@
+"""Parcels: active messages, the basis of parallel computation.
+
+A parcel contains a description of the action to perform, argument
+data, and (optionally) continuation information, and is sent to the
+global address on which the action should run.  The scheduler invokes
+arriving parcels as lightweight threads; *sending a parcel is the only
+way to spawn a thread* - in shared-memory execution all targets simply
+live on one locality (Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hpx.gas import GlobalAddress
+
+
+@dataclass
+class Parcel:
+    """An active message.
+
+    ``action`` is a registered action name; ``target`` the global
+    address (or bare locality index) it runs at; ``args`` arbitrary
+    argument data; ``size_bytes`` the modelled wire size (argument data
+    plus header) used by the network model; ``op_class`` labels the
+    spawned thread's work for tracing; ``priority`` is the scheduling
+    hint evaluated only when the runtime has priorities enabled (the
+    paper's proposed HPX-5 extension - 0 is high, 1 is low).
+    """
+
+    action: str
+    target: GlobalAddress | int
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    size_bytes: int = 64
+    op_class: str = "parcel"
+    priority: int = 1
+    #: stamped by the scheduler at send time; None for externally injected
+    origin: int | None = None
+
+    @property
+    def target_locality(self) -> int:
+        if isinstance(self.target, GlobalAddress):
+            return self.target.locality
+        return int(self.target)

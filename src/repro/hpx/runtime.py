@@ -1,0 +1,188 @@
+"""The runtime facade: configuration, action registry, main loop.
+
+Ties together the GAS, the discrete-event scheduler, the network model
+and tracing into the programming model DASHMM targets: register
+actions, allocate LCOs, enqueue initial parcels/tasks, call
+:meth:`Runtime.run`, read the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hpx.gas import GlobalAddressSpace
+from repro.hpx.network import NetworkModel
+from repro.hpx.parcel import Parcel
+from repro.hpx.scheduler import Scheduler, Task
+from repro.hpx.tracing import Tracer
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the simulated cluster.
+
+    ``priorities`` enables the binary task-priority extension the paper
+    proposes (Section VI); stock HPX-5 (the measured configuration) has
+    it off.  ``progress_cost`` models the time HPX-5's network progress
+    charges on the receiving locality per remote parcel - the paper
+    attributes a small part of the utilization deficit to it.
+    """
+
+    n_localities: int = 1
+    workers_per_locality: int = 32
+    network: NetworkModel = field(default_factory=NetworkModel)
+    priorities: bool = False
+    tracing: bool = True
+    steal_seed: int = 12345
+    measure_costs: bool = False
+    measure_scale: float = 1.0
+    progress_cost: float = 0.5e-6
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_localities * self.workers_per_locality
+
+
+class Runtime:
+    """One simulated HPX-5 instance."""
+
+    def __init__(self, config: RuntimeConfig | None = None):
+        self.config = config or RuntimeConfig()
+        self.gas = GlobalAddressSpace(self.config.n_localities)
+        self.tracer = Tracer(enabled=self.config.tracing)
+        self.config.network.reset()
+        self.scheduler = Scheduler(
+            n_localities=self.config.n_localities,
+            workers_per_locality=self.config.workers_per_locality,
+            network=self.config.network,
+            tracer=self.tracer,
+            priorities=self.config.priorities,
+            steal_seed=self.config.steal_seed,
+            measure_costs=self.config.measure_costs,
+            measure_scale=self.config.measure_scale,
+        )
+        self.scheduler.deliver_parcel = self._deliver
+        self._actions: dict[str, Callable] = {}
+
+    # -- actions & parcels -------------------------------------------------------
+    def register_action(self, name: str, fn: Callable) -> None:
+        """Register an action callable ``fn(ctx, target, *args)``."""
+        if name in self._actions:
+            raise ValueError(f"action {name!r} already registered")
+        self._actions[name] = fn
+
+    def _deliver(self, parcel: Parcel, t: float) -> None:
+        fn = self._actions.get(parcel.action)
+        if fn is None:
+            raise KeyError(f"unregistered action {parcel.action!r}")
+        remote = getattr(parcel, "origin", None) not in (None, parcel.target_locality)
+        progress = self.config.progress_cost if remote else 0.0
+
+        def body(ctx, *args, **kwargs):
+            if progress > 0:
+                ctx.charge("_progress", progress)
+            fn(ctx, parcel.target, *args, **kwargs)
+
+        task = Task(
+            fn=lambda ctx: body(ctx, *parcel.args, **parcel.kwargs),
+            op_class=parcel.op_class,
+            priority=parcel.priority,
+        )
+        self.scheduler.enqueue(task, parcel.target_locality, t)
+
+    # -- asynchronous global memory access ------------------------------------------
+    def memget(self, ctx, addr, size_bytes: int = 64):
+        """Asynchronously fetch the object at a global address.
+
+        Returns a :class:`repro.hpx.lco.Future` on the *calling*
+        locality that will hold the value; the round trip rides on two
+        parcels, so remote gets pay network latency both ways (Section
+        III's memput/memget API).
+        """
+        from repro.hpx.lco import Future
+
+        fut = Future(self, ctx.locality)
+        self._ensure_mem_actions()
+        ctx.send_parcel(
+            Parcel(
+                action="_memget",
+                target=addr,
+                args=(fut.addr, size_bytes),
+                size_bytes=64,
+                op_class="_memget",
+            )
+        )
+        return fut
+
+    def memput(self, ctx, addr, value, size_bytes: int = 64) -> None:
+        """Asynchronously replace the object at a global address."""
+        self._ensure_mem_actions()
+        ctx.send_parcel(
+            Parcel(
+                action="_memput",
+                target=addr,
+                args=(value,),
+                size_bytes=size_bytes,
+                op_class="_memput",
+            )
+        )
+
+    def _ensure_mem_actions(self) -> None:
+        if "_memget" in self._actions:
+            return
+
+        def do_get(ctx, target, fut_addr, size_bytes):
+            value = self.gas.translate(target, ctx.locality)
+            fut = self.gas.translate(fut_addr, fut_addr.locality) if (
+                fut_addr.locality == ctx.locality
+            ) else None
+            if fut is not None:
+                ctx.lco_set(fut, value)
+            else:
+                # reply parcel carrying the data home
+                ctx.send_parcel(
+                    Parcel(
+                        action="_memget_reply",
+                        target=fut_addr,
+                        args=(value,),
+                        size_bytes=size_bytes,
+                        op_class="_memget",
+                    )
+                )
+
+        def do_reply(ctx, target, value):
+            fut = self.gas.translate(target, ctx.locality)
+            ctx.lco_set(fut, value)
+
+        def do_put(ctx, target, value):
+            self.gas.put_local(target, value, ctx.locality)
+
+        self.register_action("_memget", do_get)
+        self.register_action("_memget_reply", do_reply)
+        self.register_action("_memput", do_put)
+
+    # -- startup work --------------------------------------------------------------
+    def enqueue_task(self, task: Task, locality: int) -> None:
+        """Enqueue an initial task (before or between runs)."""
+        self.scheduler.enqueue(task, locality, self.scheduler.now)
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the simulation to quiescence; returns elapsed virtual time."""
+        return self.scheduler.run(until=until)
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def stats(self) -> dict:
+        s = self.scheduler
+        return {
+            "time": s.now,
+            "tasks_run": s.tasks_run,
+            "steals": s.steals,
+            "parcels_sent": s.parcels_sent,
+            "remote_bytes": s.remote_bytes,
+            "cores": self.config.total_cores,
+        }

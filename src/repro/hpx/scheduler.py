@@ -1,0 +1,283 @@
+"""Discrete-event scheduler: localities, workers, work stealing.
+
+Models the paper's configuration - one HPX-5 scheduler thread per core,
+per-worker task deques with *local randomized work stealing* (stealing
+never crosses locality boundaries; remote work moves only via parcels).
+
+Execution model
+---------------
+Tasks are real Python callables ``fn(ctx, *args)``.  When a worker
+picks a task at virtual time ``t`` the body runs immediately (so all
+state it reads reflects every effect applied up to ``t``) but its
+*effects* - LCO sets, new task spawns, parcel sends - are buffered in
+the :class:`TaskContext` and released at ``t + cost``, when the task
+logically completes.  ``cost`` is the sum of the body's
+``ctx.charge(op_class, dt)`` calls (or the task's static cost); each
+charge also emits one trace interval, mirroring the paper's
+begin/end event instrumentation.
+
+Scheduling discipline
+---------------------
+Owner pops LIFO (work-first, depth-first into the DAG), thieves steal
+FIFO from a random victim on the same locality.  With ``priorities``
+enabled, each worker keeps a high- and a low-priority deque and always
+drains high first - this is exactly the "binary choice between low and
+high priority" extension the paper's Section VI proposes for HPX-5,
+off by default to match stock HPX-5.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.hpx.tracing import Tracer
+
+HIGH = 0
+LOW = 1
+
+
+@dataclass
+class Task:
+    """A lightweight thread to run on some locality."""
+
+    fn: Callable
+    args: tuple = ()
+    op_class: str = "task"
+    cost: float | None = None
+    priority: int = LOW
+
+
+class TaskContext:
+    """Handed to every task body; collects charges and buffered effects."""
+
+    __slots__ = ("scheduler", "worker", "locality", "time", "charges", "effects")
+
+    def __init__(self, scheduler: "Scheduler", worker: int, time: float):
+        self.scheduler = scheduler
+        self.worker = worker
+        self.locality = scheduler.worker_locality[worker]
+        self.time = time
+        self.charges: list[tuple[str, float]] = []
+        self.effects: list[tuple[str, Any]] = []
+
+    # -- cost accounting ----------------------------------------------------
+    def charge(self, op_class: str, dt: float) -> None:
+        """Account ``dt`` seconds of ``op_class`` work to this task."""
+        if dt < 0:
+            raise ValueError("negative charge")
+        if dt > 0:
+            self.charges.append((op_class, dt))
+
+    @property
+    def total_cost(self) -> float:
+        return sum(dt for _, dt in self.charges)
+
+    # -- buffered effects (released at task completion) ----------------------
+    def spawn(self, task: Task, locality: int | None = None) -> None:
+        """Spawn a task (on this locality unless stated otherwise)."""
+        self.effects.append(("spawn", (task, self.locality if locality is None else locality)))
+
+    def send_parcel(self, parcel) -> None:
+        self.effects.append(("parcel", parcel))
+
+    def lco_set(self, lco, value=None) -> None:
+        """Set an LCO input; the LCO must live on this locality."""
+        self.effects.append(("lco_set", (lco, value)))
+
+    def call_at_completion(self, fn: Callable[[float], None]) -> None:
+        """Run ``fn(t_end)`` when the task completes (bookkeeping hooks)."""
+        self.effects.append(("call", fn))
+
+
+class Scheduler:
+    """Discrete-event engine over L localities x W workers."""
+
+    def __init__(
+        self,
+        n_localities: int,
+        workers_per_locality: int,
+        network,
+        tracer: Tracer | None = None,
+        priorities: bool = False,
+        steal_seed: int = 12345,
+        measure_costs: bool = False,
+        measure_scale: float = 1.0,
+    ):
+        if n_localities < 1 or workers_per_locality < 1:
+            raise ValueError("need at least 1 locality and 1 worker")
+        import random
+
+        self.n_localities = n_localities
+        self.workers_per_locality = workers_per_locality
+        self.n_workers = n_localities * workers_per_locality
+        self.network = network
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.priorities = priorities
+        self.measure_costs = measure_costs
+        self.measure_scale = measure_scale
+        self._rng = random.Random(steal_seed)
+
+        self.worker_locality = [w // workers_per_locality for w in range(self.n_workers)]
+        self.locality_workers = [
+            list(range(l * workers_per_locality, (l + 1) * workers_per_locality))
+            for l in range(n_localities)
+        ]
+        # deques[worker][priority]
+        self.deques: list[tuple[deque, deque]] = [
+            (deque(), deque()) for _ in range(self.n_workers)
+        ]
+        self.busy = [False] * self.n_workers
+        self._idle: list[deque] = [deque() for _ in range(n_localities)]
+        self._idle_set: set[int] = set()
+        self._rr = [0] * n_localities
+
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.tasks_run = 0
+        self.steals = 0
+        self.parcels_sent = 0
+        self.remote_bytes = 0
+        # set by the runtime so buffered parcel effects can be routed
+        self.deliver_parcel: Callable | None = None
+
+    # -- public API -----------------------------------------------------------
+    def enqueue(self, task: Task, locality: int, t: float, worker_hint: int | None = None) -> None:
+        """Make a task runnable on ``locality`` at time ``t``."""
+        pr = task.priority if self.priorities else LOW
+        idle = self._idle[locality]
+        while idle:
+            w = idle.popleft()
+            if w in self._idle_set:
+                self._idle_set.discard(w)
+                self.deques[w][pr].append(task)
+                self._push_event(t, "pick", w)
+                return
+        if worker_hint is not None and self.worker_locality[worker_hint] == locality:
+            w = worker_hint
+        else:
+            w = self.locality_workers[locality][self._rr[locality] % self.workers_per_locality]
+            self._rr[locality] += 1
+        self.deques[w][pr].append(task)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until quiescence; returns the final time."""
+        # kick every worker so initially enqueued tasks get picked
+        for w in range(self.n_workers):
+            if not self.busy[w]:
+                self._push_event(self.now, "pick", w)
+        while self._heap:
+            t, _, kind, data = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                self.now = until
+                break
+            self.now = t
+            if kind == "pick":
+                self._try_pick(data, t)
+            elif kind == "done":
+                self._finish(data, t)
+            elif kind == "parcel":
+                parcel = data
+                if self.deliver_parcel is None:
+                    raise RuntimeError("no parcel delivery handler installed")
+                self.deliver_parcel(parcel, t)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind}")
+        return self.now
+
+    def post_parcel_arrival(self, parcel, t_arrival: float) -> None:
+        self._push_event(t_arrival, "parcel", parcel)
+
+    # -- internals --------------------------------------------------------------
+    def _push_event(self, t: float, kind: str, data) -> None:
+        heapq.heappush(self._heap, (t, next(self._seq), kind, data))
+
+    def _try_pick(self, worker: int, t: float) -> None:
+        if self.busy[worker]:
+            return  # woke late; its queued work is stealable meanwhile
+        self._idle_set.discard(worker)
+        task = self._pop_task(worker)
+        if task is None:
+            self._go_idle(worker)
+            return
+        self._execute(worker, task, t)
+
+    def _pop_task(self, worker: int) -> Task | None:
+        mine = self.deques[worker]
+        for pr in (HIGH, LOW):
+            if mine[pr]:
+                return mine[pr].pop()  # owner pops LIFO
+        # randomized stealing within the locality, FIFO end, high first
+        loc = self.worker_locality[worker]
+        victims = [
+            w
+            for w in self.locality_workers[loc]
+            if w != worker and (self.deques[w][HIGH] or self.deques[w][LOW])
+        ]
+        if not victims:
+            return None
+        v = self._rng.choice(victims)
+        self.steals += 1
+        for pr in (HIGH, LOW):
+            if self.deques[v][pr]:
+                return self.deques[v][pr].popleft()
+        return None  # pragma: no cover - victim drained between checks
+
+    def _go_idle(self, worker: int) -> None:
+        if worker not in self._idle_set:
+            self._idle_set.add(worker)
+            self._idle[self.worker_locality[worker]].append(worker)
+
+    def _execute(self, worker: int, task: Task, t: float) -> None:
+        self.busy[worker] = True
+        ctx = TaskContext(self, worker, t)
+        if self.measure_costs:
+            import time as _time
+
+            w0 = _time.perf_counter()
+            task.fn(ctx, *task.args)
+            elapsed = (_time.perf_counter() - w0) * self.measure_scale
+            ctx.charges.append((task.op_class, elapsed))
+        else:
+            task.fn(ctx, *task.args)
+            if not ctx.charges:
+                ctx.charge(task.op_class, task.cost if task.cost is not None else 0.0)
+        self.tasks_run += 1
+        cursor = t
+        for op_class, dt in ctx.charges:
+            self.tracer.record(worker, op_class, cursor, cursor + dt)
+            cursor += dt
+        self._push_event(cursor, "done", (worker, ctx))
+
+    def _finish(self, data, t: float) -> None:
+        worker, ctx = data
+        for kind, payload in ctx.effects:
+            if kind == "spawn":
+                task, locality = payload
+                self.enqueue(task, locality, t, worker_hint=worker)
+            elif kind == "parcel":
+                parcel = payload
+                self.parcels_sent += 1
+                src = self.worker_locality[worker]
+                parcel.origin = src
+                dst = parcel.target_locality
+                if src == dst:
+                    self.post_parcel_arrival(parcel, t)
+                else:
+                    self.remote_bytes += parcel.size_bytes
+                    self._push_event(
+                        self.network.deliver_time(src, t, parcel.size_bytes),
+                        "parcel",
+                        parcel,
+                    )
+            elif kind == "lco_set":
+                lco, value = payload
+                lco._apply_set(value, t, self)
+            elif kind == "call":
+                payload(t)
+        self.busy[worker] = False
+        self._try_pick(worker, t)

@@ -1,0 +1,18 @@
+"""Interaction kernels and their series expansions.
+
+Two concrete kernels ship with the framework, matching the paper's
+evaluation: the scale-invariant Laplace kernel ``1/r`` and the
+scale-variant Yukawa kernel ``exp(-lam*r)/r``.  Each kernel provides the
+analytic *particle-side* operators (S->M, M->T, S->L, L->T, plus the
+exponential-representation factorizations used by the merge-and-shift
+technique); the box-to-box translation operators (M->M, M->L, L->L,
+M->I, I->L) are constructed numerically as dense linear maps fitted
+from the particle-side operators (see ``repro.kernels.fitops``), which
+keeps the framework generic over kernels exactly as DASHMM is.
+"""
+
+from repro.kernels.base import Expansion, Kernel
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.yukawa import YukawaKernel
+
+__all__ = ["Kernel", "Expansion", "LaplaceKernel", "YukawaKernel"]

@@ -1,0 +1,128 @@
+"""Spherical-harmonic primitives shared by the kernels.
+
+Conventions (Greengard's normalization, which makes the Legendre
+addition theorem coefficient-free):
+
+* ``P_n^m`` is the associated Legendre function *with* the
+  Condon-Shortley phase (matching :func:`scipy.special.lpmv`).
+* ``Ynm(n, m) = sqrt((n-|m|)!/(n+|m|)!) * P_n^{|m|}(cos th) * e^{i m ph}``
+
+With these, ``P_n(cos gamma) = sum_m Ynm(x_hat) * conj(Ynm(y_hat))``
+exactly, so the multipole/local expansion identities carry no extra
+constants:
+
+* ``1/|x-y| = sum_{n,m} [r_<^n Ynm(x_hat)] [conj(Ynm(y_hat)) / r_>^{n+1}]``
+
+Coefficient vectors are flat complex arrays of length ``(p+1)**2``
+indexed by ``idx(n, m) = n*n + n + m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+
+def nterms(p: int) -> int:
+    """Number of coefficients in an order-``p`` expansion."""
+    return (p + 1) * (p + 1)
+
+
+def idx(n, m):
+    """Flat index of coefficient (n, m), -n <= m <= n."""
+    return n * n + n + m
+
+
+def nm_arrays(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Arrays ``n[i]`` and ``m[i]`` for every flat index i."""
+    ns = np.concatenate([np.full(2 * n + 1, n, dtype=np.int64) for n in range(p + 1)])
+    ms = np.concatenate([np.arange(-n, n + 1, dtype=np.int64) for n in range(p + 1)])
+    return ns, ms
+
+
+def assoc_legendre(p: int, x: np.ndarray) -> np.ndarray:
+    """All ``P_n^m(x)`` for 0 <= m <= n <= p, Condon-Shortley phase.
+
+    Returns an array of shape ``x.shape + (p+1, p+1)`` where entry
+    ``[..., n, m]`` is ``P_n^m(x)`` (zero for m > n).
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.zeros(x.shape + (p + 1, p + 1))
+    somx2 = np.sqrt(np.maximum(0.0, 1.0 - x * x))
+    pmm = np.ones_like(x)
+    for m in range(p + 1):
+        out[..., m, m] = pmm
+        if m < p:
+            pm1 = x * (2 * m + 1) * pmm
+            out[..., m + 1, m] = pm1
+            pold, pcur = pmm, pm1
+            for n in range(m + 2, p + 1):
+                pnew = ((2 * n - 1) * x * pcur - (n + m - 1) * pold) / (n - m)
+                out[..., n, m] = pnew
+                pold, pcur = pcur, pnew
+        # seed for next m: P_{m+1}^{m+1} = -(2m+1) sqrt(1-x^2) P_m^m
+        pmm = -(2 * m + 1) * somx2 * pmm
+    return out
+
+
+def _ynm_norms(p: int) -> np.ndarray:
+    """sqrt((n-|m|)!/(n+|m|)!) for every flat index."""
+    ns, ms = nm_arrays(p)
+    am = np.abs(ms)
+    return np.exp(0.5 * (gammaln(ns - am + 1) - gammaln(ns + am + 1)))
+
+
+class Harmonics:
+    """Evaluator of normalized spherical harmonics up to order ``p``.
+
+    Precomputes the normalization table once; :meth:`ynm` evaluates the
+    full coefficient vector for batches of points.
+    """
+
+    def __init__(self, p: int):
+        self.p = p
+        self.size = nterms(p)
+        self.ns, self.ms = nm_arrays(p)
+        self.norms = _ynm_norms(p)
+        self.abs_ms = np.abs(self.ms)
+        # (-1)^m factor used to get negative-m values from conjugates:
+        # Ynm(n,-m) = (-1)^m conj(Ynm(n,m)) with CS-phase Legendre.
+        self.neg_phase = np.where(self.ms < 0, (-1.0) ** self.abs_ms, 1.0)
+
+    def ynm(self, xyz: np.ndarray) -> np.ndarray:
+        """Normalized Y_n^m for each point; shape (N, (p+1)^2), complex.
+
+        Points at the origin give Y_0^0 = 1 and zeros elsewhere (the
+        polar angle is taken as 0 there).
+        """
+        xyz = np.atleast_2d(np.asarray(xyz, dtype=float))
+        r = np.linalg.norm(xyz, axis=-1)
+        safe_r = np.where(r == 0.0, 1.0, r)
+        ct = np.clip(xyz[:, 2] / safe_r, -1.0, 1.0)
+        phi = np.arctan2(xyz[:, 1], xyz[:, 0])
+        leg = assoc_legendre(self.p, ct)  # (N, p+1, p+1)
+        pvals = leg[:, self.ns, self.abs_ms]  # (N, size)
+        phase = np.exp(1j * np.outer(phi, self.ms))
+        return self.norms * self.neg_phase * pvals * phase
+
+    def powers(self, rho: np.ndarray) -> np.ndarray:
+        """rho**n for each flat index; shape (N, size)."""
+        rho = np.asarray(rho, dtype=float)
+        logs = np.where(rho > 0, np.log(np.where(rho > 0, rho, 1.0)), -np.inf)
+        with np.errstate(invalid="ignore"):
+            out = np.exp(np.outer(logs, self.ns))
+        out[:, self.ns == 0] = 1.0
+        out[rho == 0.0, 1:] = 0.0
+        return out
+
+
+def legendre_poly(p: int, x: np.ndarray) -> np.ndarray:
+    """Plain Legendre polynomials P_0..P_p at x; shape x.shape + (p+1,)."""
+    x = np.asarray(x, dtype=float)
+    out = np.zeros(x.shape + (p + 1,))
+    out[..., 0] = 1.0
+    if p >= 1:
+        out[..., 1] = x
+    for n in range(2, p + 1):
+        out[..., n] = ((2 * n - 1) * x * out[..., n - 1] - (n - 1) * out[..., n - 2]) / n
+    return out

@@ -1,0 +1,13 @@
+"""Evaluation methods: direct summation, FMM (basic and advanced), Barnes-Hut.
+
+Each method computes potentials at target points due to weighted source
+points.  :mod:`repro.methods.fmm` is the synchronous reference
+implementation used for correctness testing and as the numerical ground
+truth for the AMT execution path in :mod:`repro.dashmm`.
+"""
+
+from repro.methods.direct import direct_potentials
+from repro.methods.fmm import FmmEvaluator
+from repro.methods.barneshut import BarnesHutEvaluator
+
+__all__ = ["direct_potentials", "FmmEvaluator", "BarnesHutEvaluator"]

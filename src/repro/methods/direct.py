@@ -1,0 +1,27 @@
+"""O(N^2) direct summation, the accuracy reference for every method."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+
+def direct_potentials(
+    kernel: Kernel,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    weights: np.ndarray,
+    chunk: int = 1024,
+) -> np.ndarray:
+    """Exact potentials at ``targets`` due to ``sources`` with ``weights``.
+
+    Coincident source/target pairs contribute zero (self-interaction
+    exclusion), matching the convention of the hierarchical methods.
+    """
+    return kernel.direct(
+        np.asarray(targets, dtype=float),
+        np.asarray(sources, dtype=float),
+        np.asarray(weights, dtype=float),
+        chunk=chunk,
+    )

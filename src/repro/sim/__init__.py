@@ -1,0 +1,10 @@
+"""Simulation support: task cost models and message-size models.
+
+These calibrate the virtual clock of :mod:`repro.hpx` so that the
+simulated executions reproduce the paper's task-grain and communication
+profile (Table II per-operator times, Table I/II message sizes).
+"""
+
+from repro.sim.costmodel import CostModel, SizeModel
+
+__all__ = ["CostModel", "SizeModel"]

@@ -1,0 +1,159 @@
+"""Task cost and message-size models calibrated from the paper.
+
+Table II of the paper reports the average execution time of every DAG
+edge class for the 128-core Laplace cube run; those numbers are the
+default per-edge costs here.  Costs of point-dependent operations
+(S->T, S->M, L->T, ...) scale with the participating point counts,
+normalized so a box with the paper's average occupancy (about 14 points
+for 30M points over 2^21 leaves) reproduces the Table II average.
+
+The Yukawa kernel's operations are "generally heavier" (Section V.A);
+``expansion_factor``/``direct_factor`` scale the expansion and direct
+work accordingly.  The paper attributes Yukawa's better scaling to this
+larger grain size, so these factors are exactly the knob the grain-size
+experiments turn.
+
+Message sizes follow Table I/II (multipole/local 880 B, one
+exponential direction 912 B, 32 B per source point, 40 B per target
+point) plus a per-edge descriptor overhead for the coalesced parcels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: paper Table II average execution times [s] (Laplace, 128 cores)
+PAPER_EDGE_TIMES = {
+    "S2T": 1.89e-6,
+    "S2M": 10.9e-6,
+    "M2M": 4.60e-6,
+    "M2I": 29.6e-6,
+    "I2I": 1.75e-6,
+    "I2L": 38.4e-6,
+    "L2L": 4.45e-6,
+    "L2T": 13.5e-6,
+}
+
+#: average points per leaf in the paper's traced run (30M over 2^21 boxes)
+PAPER_AVG_LEAF_POINTS = 30_000_000 / 2_097_152
+
+
+@dataclass
+class CostModel:
+    """Virtual-time cost of one DAG edge operation.
+
+    ``base`` holds per-edge costs for fixed-size operations and
+    per-unit rates for point-dependent ones (derived from the paper's
+    averages in ``__post_init__``).
+    """
+
+    #: multiplies expansion-related work (kernel grain size knob)
+    expansion_factor: float = 1.0
+    #: multiplies direct-interaction work
+    direct_factor: float = 1.0
+    #: dynamic-allocation cost per remote out-edge (Section V.B: the
+    #: utilization deficit is "largely due to dynamic memory allocation
+    #: and memory copies related to ... dynamic non-local DAG out edge
+    #: handling").  Grain-INDEPENDENT: this is what makes heavier
+    #: (Yukawa) tasks scale better.
+    remote_edge_alloc: float = 0.5e-6
+    #: memory-copy bandwidth for staging remote payloads [bytes/s]
+    copy_bandwidth: float = 2.0e9
+    base: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        t = PAPER_EDGE_TIMES
+        a = PAPER_AVG_LEAF_POINTS
+        defaults = {
+            # fixed-size expansion translations: per edge
+            "M2M": t["M2M"],
+            "M2I": t["M2I"],
+            "I2I": t["I2I"],
+            "I2L": t["I2L"],
+            "L2L": t["L2L"],
+            "M2L": t["M2I"] / 6.0 * 1.3,  # basic-FMM dense translation
+            # point-dependent: per source/target point or per pair
+            "S2T_pair": t["S2T"] / (a * a),
+            "S2M_pt": t["S2M"] / a,
+            "L2T_pt": t["L2T"] / a,
+            "M2T_pt": t["L2T"] / a,  # same evaluation structure
+            "S2L_pt": t["S2M"] / a,  # same accumulation structure
+        }
+        for k, v in defaults.items():
+            self.base.setdefault(k, v)
+
+    @staticmethod
+    def for_kernel(kernel_name: str) -> "CostModel":
+        """Paper-flavoured model: Yukawa tasks are heavier than Laplace."""
+        if kernel_name == "yukawa":
+            return CostModel(expansion_factor=2.2, direct_factor=1.6)
+        return CostModel()
+
+    def edge_cost(self, op: str, n_src: int = 1, n_tgt: int = 1) -> float:
+        """Cost of one edge operation of class ``op``."""
+        f = self.expansion_factor
+        if op == "S2T":
+            return self.base["S2T_pair"] * n_src * n_tgt * self.direct_factor
+        if op == "S2M":
+            return self.base["S2M_pt"] * n_src * f
+        if op == "L2T":
+            return self.base["L2T_pt"] * n_tgt * f
+        if op == "M2T":
+            return self.base["M2T_pt"] * n_tgt * f
+        if op == "S2L":
+            return self.base["S2L_pt"] * n_src * f
+        return self.base[op] * f
+
+    def remote_handling_cost(self, n_edges: int, payload_bytes: int) -> float:
+        """Sender-side cost of staging remote out-edges into a parcel.
+
+        Covers the allocation and memory copies the paper identifies as
+        the main utilization deficit; deliberately *not* scaled by the
+        kernel grain factors.
+        """
+        return n_edges * self.remote_edge_alloc + payload_bytes / self.copy_bandwidth
+
+
+@dataclass
+class SizeModel:
+    """Wire sizes of node payloads and coalesced-parcel contents [bytes]."""
+
+    source_point: int = 32  # position + weight
+    target_point: int = 40  # position + potential + index
+    multipole: int = 880  # Table I (p = 9, m >= 0 storage)
+    local: int = 880
+    expo_direction: int = 912  # one direction of an intermediate expansion
+    edge_descriptor: int = 16  # (target address, op) entry in a parcel
+    parcel_header: int = 64
+
+    def node_bytes(self, kind: str, n_points: int = 0, n_directions: int = 6) -> int:
+        if kind == "S":
+            return self.source_point * n_points
+        if kind == "T":
+            return self.target_point * n_points
+        if kind == "M":
+            return self.multipole
+        if kind == "L":
+            return self.local
+        if kind in ("Is", "It"):
+            return self.expo_direction * n_directions
+        raise ValueError(f"unknown node kind {kind}")
+
+    def payload_bytes(self, op: str, n_src_points: int = 0) -> int:
+        """Bytes of expansion data shipped along one edge class."""
+        if op in ("S2T", "S2L"):
+            return self.source_point * n_src_points
+        if op in ("S2M",):
+            return self.source_point * n_src_points
+        if op in ("M2M", "M2L", "M2T", "M2I"):
+            return self.multipole
+        if op == "I2I":
+            return self.expo_direction
+        if op == "I2L":
+            return self.expo_direction * 6
+        if op in ("L2L", "L2T"):
+            return self.local
+        raise ValueError(f"unknown edge op {op}")
+
+    def parcel_bytes(self, data_bytes: int, n_edges: int) -> int:
+        return self.parcel_header + data_bytes + self.edge_descriptor * n_edges

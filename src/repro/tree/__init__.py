@@ -1,0 +1,40 @@
+"""Adaptive dual-tree substrate for hierarchical multipole methods.
+
+The tree machinery follows Section II of the paper: the computational
+domain (the smallest cube containing both ensembles) is hierarchically
+partitioned into nested boxes; a box is refined while it holds more
+points than the *refinement threshold*; empty children are pruned.  Two
+trees are built, one for the source ensemble and one for the target
+ensemble, which may be identical, partially overlapping, or disjoint.
+"""
+
+from repro.tree.box import Box, Domain
+from repro.tree.dualtree import DualTree, Tree, build_dual_tree, build_tree
+from repro.tree.lists import InteractionLists, build_lists
+from repro.tree.morton import (
+    decode_morton,
+    encode_morton,
+    encode_points,
+    morton_ancestor,
+    morton_children,
+    morton_level,
+    morton_parent,
+)
+
+__all__ = [
+    "Box",
+    "Domain",
+    "DualTree",
+    "Tree",
+    "build_dual_tree",
+    "build_tree",
+    "InteractionLists",
+    "build_lists",
+    "encode_morton",
+    "decode_morton",
+    "encode_points",
+    "morton_parent",
+    "morton_children",
+    "morton_level",
+    "morton_ancestor",
+]

@@ -1,0 +1,218 @@
+"""Adaptive hierarchical partitioning and the dual tree (Section II).
+
+A :class:`Tree` is built per ensemble by sorting the points along a
+deep Morton curve once and then carving contiguous key ranges into
+boxes top-down.  A box is refined while it holds more points than the
+refinement *threshold*; empty children are pruned.  The
+:class:`DualTree` pairs the source and target trees over the shared
+domain; the ensembles may be identical, partially overlapping, or
+disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tree.box import Box, Domain
+from repro.tree.morton import MAX_LEVEL, encode_points
+
+#: Depth of the space-filling curve used for the one-time sort.  Boxes
+#: never refine past this level; duplicate points therefore cannot force
+#: unbounded recursion.
+DEEP_LEVEL = MAX_LEVEL
+
+
+@dataclass
+class Tree:
+    """One adaptive octree over an ensemble of points.
+
+    Attributes
+    ----------
+    domain:
+        Shared root cube.
+    points:
+        (N, 3) points in Morton order.
+    weights:
+        (N,) weights (charges/masses) in the same order, or None for a
+        target tree.
+    perm:
+        Original index of each sorted point (``points[i] ==
+        original[perm[i]]``).
+    boxes:
+        Box table; index 0 is the root.
+    key_to_index:
+        Morton key -> box table index.
+    levels:
+        ``levels[l]`` lists box indices at level ``l``.
+    threshold:
+        The refinement threshold used to build the tree.
+    """
+
+    domain: Domain
+    points: np.ndarray
+    weights: np.ndarray | None
+    perm: np.ndarray
+    boxes: list[Box]
+    key_to_index: dict[int, int]
+    levels: list[list[int]] = field(default_factory=list)
+    threshold: int = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels) - 1
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def leaves(self) -> list[Box]:
+        return [b for b in self.boxes if b.is_leaf]
+
+    def box(self, key: int) -> Box:
+        return self.boxes[self.key_to_index[key]]
+
+    def box_points(self, box: Box) -> np.ndarray:
+        return self.points[box.start : box.stop]
+
+    def box_weights(self, box: Box) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("tree has no weights (target tree)")
+        return self.weights[box.start : box.stop]
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Replace the point weights (given in *original* point order).
+
+        Supports the paper's iterative use case: the same DAG is
+        evaluated many times for different inputs, amortizing all setup.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n_points,):
+            raise ValueError("weights must have shape (N,)")
+        self.weights = weights[self.perm]
+
+
+@dataclass
+class DualTree:
+    """Source tree + target tree over a shared domain."""
+
+    domain: Domain
+    source: Tree
+    target: Tree
+    threshold: int
+
+
+def build_tree(
+    points: np.ndarray,
+    domain: Domain,
+    threshold: int,
+    weights: np.ndarray | None = None,
+) -> Tree:
+    """Build one adaptive octree.
+
+    The points are sorted once by their level-``DEEP_LEVEL`` Morton key;
+    every box then owns a contiguous slice of the sorted order, and
+    child ranges are found with :func:`numpy.searchsorted` against key
+    prefixes, which keeps construction O(N log N) with vectorised
+    passes.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("points must have shape (N, 3)")
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    n = len(points)
+    deep = encode_points(points, domain.origin, domain.size, DEEP_LEVEL)
+    perm = np.argsort(deep, kind="stable")
+    deep_sorted = deep[perm]
+    points_sorted = points[perm]
+    weights_sorted = None
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,):
+            raise ValueError("weights must have shape (N,)")
+        weights_sorted = weights[perm]
+
+    boxes: list[Box] = []
+    key_to_index: dict[int, int] = {}
+    levels: list[list[int]] = [[]]
+
+    root = Box(key=1, level=0, start=0, stop=n, parent=None, children=[], index=0)
+    boxes.append(root)
+    key_to_index[1] = 0
+    levels[0].append(0)
+
+    # Breadth-first refinement.  A box's deep keys lie in
+    # [key << 3*(D-l), (key+1) << 3*(D-l)); children are the nonempty
+    # subranges split at the eight child-prefix boundaries.
+    frontier = [0]
+    level = 0
+    while frontier:
+        next_frontier: list[int] = []
+        child_level = level + 1
+        if child_level > DEEP_LEVEL:
+            break
+        new_level_indices: list[int] = []
+        shift = 3 * (DEEP_LEVEL - child_level)
+        for bi in frontier:
+            box = boxes[bi]
+            if box.count <= threshold:
+                continue
+            base = box.key << 3
+            # Boundaries of the eight candidate children in deep-key space.
+            bounds = np.array(
+                [(base + c) << shift for c in range(9)], dtype=np.int64
+            )
+            cuts = np.searchsorted(
+                deep_sorted[box.start : box.stop], bounds, side="left"
+            )
+            cuts += box.start
+            for c in range(8):
+                lo, hi = int(cuts[c]), int(cuts[c + 1])
+                if hi <= lo:
+                    continue  # prune empty child
+                ckey = base + c
+                child = Box(
+                    key=ckey,
+                    level=child_level,
+                    start=lo,
+                    stop=hi,
+                    parent=box.key,
+                    children=[],
+                    index=len(boxes),
+                )
+                key_to_index[ckey] = child.index
+                boxes.append(child)
+                box.children.append(ckey)
+                new_level_indices.append(child.index)
+                next_frontier.append(child.index)
+        if new_level_indices:
+            levels.append(new_level_indices)
+        frontier = next_frontier
+        level = child_level
+
+    return Tree(
+        domain=domain,
+        points=points_sorted,
+        weights=weights_sorted,
+        perm=perm,
+        boxes=boxes,
+        key_to_index=key_to_index,
+        levels=levels,
+        threshold=threshold,
+    )
+
+
+def build_dual_tree(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    threshold: int,
+    source_weights: np.ndarray | None = None,
+) -> DualTree:
+    """Build the dual tree over the common domain of both ensembles."""
+    domain = Domain.bounding(sources, targets)
+    src = build_tree(sources, domain, threshold, weights=source_weights)
+    tgt = build_tree(targets, domain, threshold)
+    return DualTree(domain=domain, source=src, target=tgt, threshold=threshold)

@@ -1,0 +1,191 @@
+"""Interaction lists L1-L4 (Fig. 1b of the paper).
+
+Each box ``Bt`` of the target tree is connected with up to four sets of
+source-tree boxes:
+
+* ``L1(Bt)`` - nonempty only if ``Bt`` is a leaf; leaf source boxes that
+  are *not* well-separated from ``Bt``.  Handled by S->T.
+* ``L2(Bt)`` - source boxes well-separated from ``Bt`` whose parents are
+  not well-separated from ``Bt``'s parent.  Handled by M->L (basic FMM)
+  or the M->I / I->I / I->L chain (advanced FMM).
+* ``L3(Bt)`` - exists if ``Bt`` is a leaf; boxes ``Bs`` such that ``Bt``
+  is well-separated from ``Bs`` but not from ``Bs``'s parent.  Handled
+  by M->T.
+* ``L4(Bt)`` - leaf source boxes well-separated from ``Bt`` but not from
+  ``Bt``'s parent.  Handled by S->L.
+
+The construction is the classic adaptive dual-tree descent: candidate
+source boxes flow down the target tree; same-level non-adjacent
+candidates become list 2, inherited coarser leaves that stop being
+adjacent become list 4, and for leaf targets the adjacent candidates
+are refined into list 1 (adjacent leaves) and list 3 (non-adjacent
+descendants of adjacent boxes).
+
+When the ensembles are not identical, a non-leaf target box may run out
+of candidates entirely; the sub-tree below it can then be pruned (the
+local expansion is evaluated directly at every point below), which the
+paper notes reduces arithmetic complexity [11].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tree.dualtree import DualTree
+from repro.tree.morton import decode_morton
+
+
+def adjacent(key_a: int, key_b: int) -> bool:
+    """Whether two boxes (any levels) touch, i.e. are not well-separated.
+
+    Compares the lattice footprints after scaling the coarser box to the
+    finer level; boxes touch when the footprints are within one cell in
+    every axis.
+    """
+    la, ax, ay, az = decode_morton(key_a)
+    lb, bx, by, bz = decode_morton(key_b)
+    if la < lb:
+        sh = lb - la
+        alo = (ax << sh, ay << sh, az << sh)
+        ahi = (((ax + 1) << sh) - 1, ((ay + 1) << sh) - 1, ((az + 1) << sh) - 1)
+        blo = bhi = (bx, by, bz)
+    elif lb < la:
+        sh = la - lb
+        blo = (bx << sh, by << sh, bz << sh)
+        bhi = (((bx + 1) << sh) - 1, ((by + 1) << sh) - 1, ((bz + 1) << sh) - 1)
+        alo = ahi = (ax, ay, az)
+    else:
+        alo = ahi = (ax, ay, az)
+        blo = bhi = (bx, by, bz)
+    for d in range(3):
+        gap = max(blo[d] - ahi[d], alo[d] - bhi[d])
+        if gap > 1:
+            return False
+    return True
+
+
+@dataclass
+class InteractionLists:
+    """Per-target-box interaction lists, keyed by target box index.
+
+    ``l1``..``l4`` map a target box index to a list of *source box
+    indices*.  ``pruned`` marks non-leaf target boxes whose sub-tree was
+    pruned because no candidate source boxes remained (the box behaves
+    as an evaluation leaf: its local expansion is evaluated at every
+    point below it).
+    """
+
+    l1: dict[int, list[int]] = field(default_factory=dict)
+    l2: dict[int, list[int]] = field(default_factory=dict)
+    l3: dict[int, list[int]] = field(default_factory=dict)
+    l4: dict[int, list[int]] = field(default_factory=dict)
+    pruned: set[int] = field(default_factory=set)
+
+    def counts(self) -> dict[str, int]:
+        """Total number of entries in each list (edge counts)."""
+        return {
+            "l1": sum(map(len, self.l1.values())),
+            "l2": sum(map(len, self.l2.values())),
+            "l3": sum(map(len, self.l3.values())),
+            "l4": sum(map(len, self.l4.values())),
+        }
+
+
+def build_lists(dual: DualTree) -> InteractionLists:
+    """Construct L1-L4 for every target box of a dual tree."""
+    src = dual.source
+    tgt = dual.target
+    out = InteractionLists()
+
+    def add(table: dict[int, list[int]], tbox_index: int, sbox_index: int) -> None:
+        table.setdefault(tbox_index, []).append(sbox_index)
+
+    def descend_adjacent_leaf_target(t, s_index):
+        """Classify the sub-tree of adjacent source box ``s`` for leaf
+        target ``t``: adjacent leaves -> L1, non-adjacent children -> L3
+        (their parent is adjacent so ``t`` is not well-separated from
+        it), adjacent internals recurse."""
+        stack = [s_index]
+        while stack:
+            si = stack.pop()
+            s = src.boxes[si]
+            if s.is_leaf:
+                add(out.l1, t.index, si)
+                continue
+            for ck in s.children:
+                ci = src.key_to_index[ck]
+                if adjacent(t.key, ck):
+                    stack.append(ci)
+                else:
+                    add(out.l3, t.index, ci)
+
+    # Candidate source boxes flow down the target tree.  Each entry of
+    # ``cand[t_index]`` is a source box index at the same level as the
+    # target box, or a *coarser leaf* inherited from above.
+    root_t = tgt.boxes[0]
+    root_s_index = 0 if src.boxes else None
+    cand: dict[int, list[int]] = {root_t.index: [root_s_index] if src.boxes else []}
+
+    # Breadth-first over target levels.
+    order = [i for lvl in tgt.levels for i in lvl]
+    for ti in order:
+        t = tgt.boxes[ti]
+        if ti not in cand:
+            continue  # below a pruned ancestor
+        mine = cand.pop(ti)
+        colleagues: list[int] = []  # adjacent candidates (same level or coarser internal)
+        for si in mine:
+            s = src.boxes[si]
+            if s.level < t.level and s.is_leaf:
+                # Inherited coarser leaf.
+                if adjacent(t.key, s.key):
+                    if t.is_leaf:
+                        add(out.l1, t.index, si)
+                    else:
+                        colleagues.append(si)
+                else:
+                    add(out.l4, t.index, si)
+                continue
+            # Same-level candidate.
+            if adjacent(t.key, s.key):
+                colleagues.append(si)
+            else:
+                add(out.l2, t.index, si)
+
+        if t.is_leaf:
+            for si in colleagues:
+                s = src.boxes[si]
+                if s.is_leaf:
+                    add(out.l1, t.index, si)
+                else:
+                    descend_adjacent_leaf_target(t, si)
+            continue
+
+        # Non-leaf target: push candidates to children.
+        if not colleagues:
+            # Nothing left to classify below: prune the target sub-tree.
+            out.pruned.add(ti)
+            continue
+        passed: list[int] = []
+        for si in colleagues:
+            s = src.boxes[si]
+            if s.is_leaf:
+                passed.append(si)  # becomes a coarser-leaf candidate below
+            else:
+                passed.extend(src.key_to_index[ck] for ck in s.children)
+        for ck in t.children:
+            cand[tgt.key_to_index[ck]] = list(passed)
+
+    return out
+
+
+def boxes_below(tree, box_index: int) -> list[int]:
+    """All box indices strictly below ``box_index`` (for pruned regions)."""
+    res = []
+    stack = list(tree.boxes[box_index].children)
+    while stack:
+        k = stack.pop()
+        i = tree.key_to_index[k]
+        res.append(i)
+        stack.extend(tree.boxes[i].children)
+    return res

@@ -1,0 +1,132 @@
+"""3-D Morton (Z-order) keys for octree boxes.
+
+A box at level ``l`` has integer lattice coordinates ``(ix, iy, iz)``
+with ``0 <= i < 2**l``.  Its Morton key interleaves the bits of the
+three coordinates (x lowest) and prepends a *level marker* bit so keys
+of different levels never collide:
+
+    key(l, ix, iy, iz) = (1 << 3*l) | interleave(ix, iy, iz)
+
+Keys are plain Python ints / int64 numpy arrays.  Vectorised helpers
+accept numpy arrays throughout; levels up to 20 fit in an int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Deepest level representable with the int64 keys used throughout.
+MAX_LEVEL = 20
+
+def _spread_bits(v: np.ndarray | int) -> np.ndarray | int:
+    """Dilate the low 21 bits of ``v`` so bit i moves to bit 3*i."""
+    v = np.asarray(v, dtype=np.uint64) if not np.isscalar(v) else np.uint64(v)
+    x = v & np.uint64(0x1FFFFF)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def _compact_bits(v: np.ndarray | int) -> np.ndarray | int:
+    """Inverse of :func:`_spread_bits`."""
+    v = np.asarray(v, dtype=np.uint64) if not np.isscalar(v) else np.uint64(v)
+    x = v & np.uint64(0x1249249249249249)
+    x = (x | (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x
+
+
+def encode_morton(level, ix, iy, iz):
+    """Morton key of the box at ``level`` with lattice coords (ix, iy, iz).
+
+    Scalar or array arguments are accepted; arrays must broadcast.
+    """
+    marker = np.uint64(1) << np.uint64(3 * int(level))
+    key = (
+        _spread_bits(ix)
+        | (_spread_bits(iy) << np.uint64(1))
+        | (_spread_bits(iz) << np.uint64(2))
+    )
+    out = key | marker
+    if np.isscalar(ix) and np.isscalar(iy) and np.isscalar(iz):
+        return int(out)
+    return out.astype(np.int64)
+
+
+def decode_morton(key):
+    """Return ``(level, ix, iy, iz)`` for a Morton key (scalar or array)."""
+    if np.isscalar(key):
+        k = int(key)
+        level = (k.bit_length() - 1) // 3
+        body = k ^ (1 << (3 * level))
+        return (
+            level,
+            int(_compact_bits(body)),
+            int(_compact_bits(body >> 1)),
+            int(_compact_bits(body >> 2)),
+        )
+    key = np.asarray(key, dtype=np.uint64)
+    level = morton_level(key)
+    body = key ^ (np.uint64(1) << (np.uint64(3) * level.astype(np.uint64)))
+    ix = _compact_bits(body).astype(np.int64)
+    iy = _compact_bits(body >> np.uint64(1)).astype(np.int64)
+    iz = _compact_bits(body >> np.uint64(2)).astype(np.int64)
+    return level.astype(np.int64), ix, iy, iz
+
+
+def morton_level(key):
+    """Level of a Morton key (scalar int or int array)."""
+    if np.isscalar(key):
+        return (int(key).bit_length() - 1) // 3
+    key = np.asarray(key, dtype=np.uint64)
+    # bit_length via float log2 is unsafe near 2**53; use a loop over the
+    # 64 possible positions instead (vectorised comparisons).
+    nbits = np.zeros(key.shape, dtype=np.int64)
+    v = key.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = v >= (np.uint64(1) << np.uint64(shift))
+        nbits[big] += shift
+        v[big] >>= np.uint64(shift)
+    return nbits // 3
+
+
+def morton_parent(key):
+    """Key of the parent box (one level up)."""
+    if np.isscalar(key):
+        return int(key) >> 3
+    return (np.asarray(key, dtype=np.uint64) >> np.uint64(3)).astype(np.int64)
+
+
+def morton_children(key):
+    """The eight child keys of ``key`` (scalar -> list of 8 ints)."""
+    base = int(key) << 3
+    return [base | c for c in range(8)]
+
+
+def morton_ancestor(key, levels_up: int):
+    """Ancestor ``levels_up`` levels above ``key``."""
+    if np.isscalar(key):
+        return int(key) >> (3 * levels_up)
+    return (np.asarray(key, dtype=np.uint64) >> np.uint64(3 * levels_up)).astype(
+        np.int64
+    )
+
+
+def encode_points(points: np.ndarray, origin: np.ndarray, size: float, level: int):
+    """Morton keys at ``level`` for an (N, 3) array of points.
+
+    ``origin`` and ``size`` describe the root cube.  Points must lie
+    inside the cube; coordinates exactly on the far face are clamped
+    into the last cell.
+    """
+    n = 1 << level
+    scaled = (np.asarray(points) - origin) * (n / size)
+    idx = np.floor(scaled).astype(np.int64)
+    np.clip(idx, 0, n - 1, out=idx)
+    return encode_morton(level, idx[:, 0], idx[:, 1], idx[:, 2])

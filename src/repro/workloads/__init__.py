@@ -1,0 +1,5 @@
+"""Workload generators for the paper's test problems."""
+
+from repro.workloads.distributions import cube_points, sphere_points, plummer_points
+
+__all__ = ["cube_points", "sphere_points", "plummer_points"]

@@ -1,0 +1,54 @@
+"""Point distributions used in Section V, plus one clustered extension.
+
+The paper's two distributions:
+
+* *cube* - points uniform in a cube.  Produces fairly uniform dual
+  trees where every leaf has the same depth, so the critical path is
+  shorter.
+* *sphere* - points uniform on the surface of a sphere.  Produces much
+  more non-uniform (adaptive) trees with a longer critical path.
+
+``plummer`` (a classic gravitating-cluster density) is provided as an
+extra stress test of adaptivity beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cube_points(n: int, seed: int = 0, side: float = 1.0) -> np.ndarray:
+    """``n`` points uniform in the cube [0, side]^3."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, side, size=(n, 3))
+
+
+def sphere_points(n: int, seed: int = 0, radius: float = 0.5) -> np.ndarray:
+    """``n`` points uniform on the surface of a sphere."""
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1)[:, None]
+    return radius * v + radius
+
+
+def plummer_points(n: int, seed: int = 0, scale: float = 0.1) -> np.ndarray:
+    """``n`` points from a Plummer sphere (heavily clustered core).
+
+    Radii are clipped at ten scale lengths to keep the domain bounded.
+    """
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(1e-6, 1.0 - 1e-6, size=n)
+    r = scale / np.sqrt(m ** (-2.0 / 3.0) - 1.0)
+    r = np.minimum(r, 10.0 * scale)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1)[:, None]
+    return r[:, None] * v + 10.0 * scale
+
+
+def random_charges(n: int, seed: int = 0, neutral: bool = False) -> np.ndarray:
+    """Standard-normal weights; optionally shifted to zero net charge."""
+    rng = np.random.default_rng(seed + 7)
+    q = rng.normal(size=n)
+    if neutral:
+        q -= q.mean()
+    return q

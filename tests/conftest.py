@@ -1,0 +1,42 @@
+"""Shared fixtures: kernels and operator factories are expensive to warm
+up (operator fitting, quadrature generation), so they are session-scoped."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.fitops import OperatorFactory
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.yukawa import YukawaKernel
+
+
+@pytest.fixture(scope="session")
+def laplace():
+    return LaplaceKernel(10)
+
+
+@pytest.fixture(scope="session")
+def yukawa():
+    return YukawaKernel(10, lam=2.0)
+
+
+@pytest.fixture(scope="session")
+def laplace_factory(laplace):
+    return OperatorFactory(laplace, eps=1e-4)
+
+
+@pytest.fixture(scope="session")
+def yukawa_factory(yukawa):
+    return OperatorFactory(yukawa, eps=1e-4)
+
+
+@pytest.fixture(scope="session")
+def small_cloud():
+    """A deterministic small source/target pair for quick accuracy tests."""
+    rng = np.random.default_rng(42)
+    n = 1500
+    sources = rng.uniform(0.0, 1.0, size=(n, 3))
+    targets = rng.uniform(0.0, 1.0, size=(n, 3))
+    weights = rng.normal(size=n)
+    return sources, weights, targets

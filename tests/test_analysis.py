@@ -1,0 +1,70 @@
+"""Scaling math and critical-path analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.critical_path import dag_critical_path, op_group, work_by_group
+from repro.analysis.scaling import efficiency, scaling_table, speedup
+from repro.dashmm.dag import build_fmm_dag
+from repro.sim.costmodel import CostModel
+from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import build_lists
+
+
+def test_speedup_relative_to_smallest():
+    times = {32: 10.0, 64: 5.0, 128: 2.5}
+    sp = speedup(times)
+    assert sp[32] == 1.0 and sp[64] == 2.0 and sp[128] == 4.0
+
+
+def test_efficiency():
+    times = {32: 10.0, 64: 6.0}
+    eff = efficiency(times)
+    assert eff[32] == 1.0
+    assert eff[64] == pytest.approx(10.0 / 6.0 / 2.0)
+
+
+def test_scaling_table_rows():
+    rows = scaling_table({1: 4.0, 2: 2.0, 4: 1.25})
+    assert [r["cores"] for r in rows] == [1, 2, 4]
+    assert rows[2]["efficiency"] == pytest.approx(0.8)
+
+
+def test_empty_inputs():
+    assert speedup({}) == {}
+    assert efficiency({}) == {}
+
+
+def test_op_groups_cover_all_edge_classes():
+    for op in ("S2M", "M2M"):
+        assert op_group(op) == "up"
+    for op in ("M2I", "I2I", "I2L", "M2L", "M2T", "S2L"):
+        assert op_group(op) == "bridge"
+    for op in ("S2T", "L2L", "L2T"):
+        assert op_group(op) == "down"
+    with pytest.raises(ValueError):
+        op_group("Q2Q")
+
+
+@pytest.fixture(scope="module")
+def dag_setup():
+    rng = np.random.default_rng(33)
+    src = rng.uniform(0, 1, (4000, 3))
+    tgt = rng.uniform(0, 1, (4000, 3))
+    dual = build_dual_tree(src, tgt, 25, source_weights=np.ones(4000))
+    lists = build_lists(dual)
+    return build_fmm_dag(dual, lists, advanced=True)
+
+
+def test_critical_path_with_costs(dag_setup):
+    out = dag_critical_path(dag_setup, cost_model=CostModel())
+    assert out["edges"] >= 5
+    assert out["seconds"] > 0
+
+
+def test_upward_work_is_small(dag_setup):
+    """The paper: 'the absolute amount of work in the upward pass is
+    fairly small' compared to the bridge and downward groups."""
+    acc = work_by_group(dag_setup, CostModel())
+    assert acc["up"] < acc["bridge"]
+    assert acc["up"] < acc["down"]

@@ -1,0 +1,73 @@
+"""Cost and size models: Table II calibration and scaling rules."""
+
+import pytest
+
+from repro.sim.costmodel import (
+    PAPER_AVG_LEAF_POINTS,
+    PAPER_EDGE_TIMES,
+    CostModel,
+    SizeModel,
+)
+
+
+def test_fixed_ops_match_table2():
+    cm = CostModel()
+    for op in ("M2M", "M2I", "I2I", "I2L", "L2L"):
+        assert cm.edge_cost(op) == pytest.approx(PAPER_EDGE_TIMES[op])
+
+
+def test_point_ops_reproduce_table2_at_paper_occupancy():
+    cm = CostModel()
+    a = PAPER_AVG_LEAF_POINTS
+    assert cm.edge_cost("S2T", n_src=a, n_tgt=a) == pytest.approx(PAPER_EDGE_TIMES["S2T"])
+    assert cm.edge_cost("S2M", n_src=a) == pytest.approx(PAPER_EDGE_TIMES["S2M"])
+    assert cm.edge_cost("L2T", n_tgt=a) == pytest.approx(PAPER_EDGE_TIMES["L2T"])
+
+
+def test_s2t_scales_with_pair_size():
+    cm = CostModel()
+    assert cm.edge_cost("S2T", 10, 10) == pytest.approx(4 * cm.edge_cost("S2T", 5, 5))
+
+
+def test_yukawa_is_heavier():
+    lap = CostModel.for_kernel("laplace")
+    yuk = CostModel.for_kernel("yukawa")
+    for op in ("M2M", "M2I", "I2I", "I2L", "L2L"):
+        assert yuk.edge_cost(op) > lap.edge_cost(op)
+    assert yuk.edge_cost("S2T", 5, 5) > lap.edge_cost("S2T", 5, 5)
+
+
+def test_unknown_op_raises():
+    with pytest.raises(KeyError):
+        CostModel().edge_cost("X2Y")
+
+
+def test_node_sizes_match_table1():
+    sm = SizeModel()
+    assert sm.node_bytes("M") == 880
+    assert sm.node_bytes("L") == 880
+    assert sm.node_bytes("Is") == 5472  # 6 directions x 912 B
+    assert sm.node_bytes("S", n_points=1) == 32
+    assert sm.node_bytes("S", n_points=60) == 1920
+    assert sm.node_bytes("T", n_points=1) == 40
+    assert sm.node_bytes("T", n_points=60) == 2400
+
+
+def test_payload_sizes():
+    sm = SizeModel()
+    assert sm.payload_bytes("I2I") == 912
+    assert sm.payload_bytes("M2M") == 880
+    assert sm.payload_bytes("S2T", n_src_points=10) == 320
+
+
+def test_parcel_framing():
+    sm = SizeModel()
+    assert sm.parcel_bytes(100, 3) == 64 + 100 + 3 * 16
+
+
+def test_unknown_kinds_raise():
+    sm = SizeModel()
+    with pytest.raises(ValueError):
+        sm.node_bytes("Q")
+    with pytest.raises(ValueError):
+        sm.payload_bytes("Q2Q")

@@ -1,0 +1,126 @@
+"""Distribution policies: data-distribution constraint, balance, It placement."""
+
+import numpy as np
+import pytest
+
+from repro.dashmm.dag import build_fmm_dag
+from repro.dashmm.distribution import (
+    BlockPolicy,
+    FmmPolicy,
+    RandomPolicy,
+    box_owner,
+    partition_points,
+)
+from repro.sim.costmodel import CostModel
+from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import build_lists
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(20)
+    src = rng.uniform(0, 1, (4000, 3))
+    tgt = rng.uniform(0, 1, (4000, 3))
+    w = rng.normal(size=4000)
+    dual = build_dual_tree(src, tgt, 30, source_weights=w)
+    lists = build_lists(dual)
+    dag = build_fmm_dag(dual, lists, advanced=True)
+    return dual, lists, dag
+
+
+def test_partition_points_covers_everything():
+    b = partition_points(100, 7)
+    assert b[0] == 0 and b[-1] == 100
+    assert np.all(np.diff(b) >= 0)
+
+
+def test_box_owner_respects_bounds():
+    bounds = np.array([0, 50, 100])
+
+    class B:
+        start, stop, count = 10, 20, 10
+
+    assert box_owner(B(), bounds) == 0
+
+    class C:
+        start, stop, count = 60, 80, 20
+
+    assert box_owner(C(), bounds) == 1
+
+
+@pytest.mark.parametrize("policy_cls", [FmmPolicy, BlockPolicy, RandomPolicy])
+def test_all_nodes_assigned(setup, policy_cls):
+    dual, lists, dag = setup
+    policy_cls().assign(dag, dual, 4)
+    for n in dag.nodes:
+        assert 0 <= n.locality < 4
+
+
+@pytest.mark.parametrize("policy_cls", [FmmPolicy, BlockPolicy, RandomPolicy])
+def test_leaf_data_constraint(setup, policy_cls):
+    """S/T nodes (and leaf M/L) must match the a-priori data split."""
+    dual, lists, dag = setup
+    policy_cls().assign(dag, dual, 4)
+    sb = partition_points(dual.source.n_points, 4)
+    tb = partition_points(dual.target.n_points, 4)
+    for n in dag.nodes:
+        if n.kind == "S":
+            assert n.locality == box_owner(dual.source.boxes[n.box_index], sb)
+        if n.kind == "T":
+            assert n.locality == box_owner(dual.target.boxes[n.box_index], tb)
+
+
+def test_fmm_policy_it_majority(setup):
+    """It nodes sit where most of their incoming I2I bytes originate."""
+    dual, lists, dag = setup
+    FmmPolicy().assign(dag, dual, 4)
+    incoming = {}
+    for edges in dag.out_edges:
+        for e in edges:
+            if e.op == "I2I":
+                incoming.setdefault(e.dst, []).append(dag.nodes[e.src].locality)
+    for nid, locs in incoming.items():
+        it = dag.nodes[nid]
+        best = max(set(locs), key=locs.count)
+        assert locs.count(it.locality) >= locs.count(best) or it.locality == best
+
+
+def test_work_balance_beats_count_balance(setup):
+    dual, lists, dag = setup
+    cm = CostModel()
+
+    def imbalance(policy):
+        policy.assign(dag, dual, 8)
+        work = np.zeros(8)
+        for edges in dag.out_edges:
+            for e in edges:
+                s, t = dag.nodes[e.src], dag.nodes[e.dst]
+                c = cm.edge_cost(e.op, n_src=max(s.n_points, 1), n_tgt=max(t.n_points, 1))
+                if e.op in ("S2M", "M2M", "M2I", "I2I"):
+                    work[s.locality] += c
+                else:
+                    work[t.locality] += c
+        return work.max() / work.mean()
+
+    count_imb = imbalance(FmmPolicy(balance="count"))
+    work_imb = imbalance(FmmPolicy(balance="work"))
+    assert work_imb < count_imb
+
+
+def test_random_policy_deterministic(setup):
+    dual, lists, dag = setup
+    RandomPolicy(seed=3).assign(dag, dual, 4)
+    locs1 = [n.locality for n in dag.nodes]
+    RandomPolicy(seed=3).assign(dag, dual, 4)
+    assert locs1 == [n.locality for n in dag.nodes]
+
+
+def test_invalid_balance():
+    with pytest.raises(ValueError):
+        FmmPolicy(balance="nope")
+
+
+def test_single_locality(setup):
+    dual, lists, dag = setup
+    FmmPolicy().assign(dag, dual, 1)
+    assert all(n.locality == 0 for n in dag.nodes)

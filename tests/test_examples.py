@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples run end-to-end and pass their own
+internal accuracy assertions."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, *args: str) -> str:
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+def test_quickstart():
+    assert "OK" in _run("quickstart.py")
+
+
+def test_screened_coulomb():
+    assert "OK" in _run("screened_coulomb.py")
+
+
+def test_custom_kernel():
+    assert "OK" in _run("custom_kernel.py")
+
+
+def test_gravity_barneshut():
+    assert "OK" in _run("gravity_barneshut.py")
+
+
+def test_scaling_study_small():
+    out = _run("scaling_study.py", "20000")
+    assert "strong scaling" in out
+    assert "binary priorities" in out
+
+
+def test_capacitance_solver():
+    out = _run("capacitance_solver.py")
+    assert "OK" in out

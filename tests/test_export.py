@@ -1,0 +1,62 @@
+"""DAG JSON/DOT export round trip."""
+
+import numpy as np
+import pytest
+
+from repro.dashmm.dag import build_fmm_dag
+from repro.dashmm.export import dag_from_json, dag_to_dot, dag_to_json
+from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import build_lists
+
+
+@pytest.fixture(scope="module")
+def small_dag():
+    rng = np.random.default_rng(60)
+    pts = rng.uniform(0, 1, (300, 3))
+    dual = build_dual_tree(pts, pts, 20, source_weights=np.ones(300))
+    lists = build_lists(dual)
+    return build_fmm_dag(dual, lists, advanced=True)
+
+
+def test_json_roundtrip(small_dag):
+    text = dag_to_json(small_dag)
+    back = dag_from_json(text)
+    assert len(back.nodes) == len(small_dag.nodes)
+    assert back.n_edges == small_dag.n_edges
+    assert back.in_degree == small_dag.in_degree
+    for a, b in zip(small_dag.nodes, back.nodes):
+        assert (a.kind, a.box_index, a.level, a.tree, a.n_points) == (
+            b.kind,
+            b.box_index,
+            b.level,
+            b.tree,
+            b.n_points,
+        )
+    # aux survives (I2I carries (direction, delta) tuples)
+    for ea, eb in zip(small_dag.out_edges[0], back.out_edges[0]):
+        assert ea.op == eb.op and ea.aux == eb.aux
+
+
+def test_json_preserves_i2i_aux(small_dag):
+    back = dag_from_json(dag_to_json(small_dag))
+    i2i = [e for edges in back.out_edges for e in edges if e.op == "I2I"]
+    assert i2i
+    d, delta = i2i[0].aux
+    assert isinstance(d, str) and len(delta) == 3
+
+
+def test_dot_output(small_dag):
+    if len(small_dag.nodes) <= 500:
+        dot = dag_to_dot(small_dag)
+        assert dot.startswith("digraph")
+        assert "S2M" in dot
+
+
+def test_dot_refuses_huge():
+    rng = np.random.default_rng(61)
+    pts = rng.uniform(0, 1, (5000, 3))
+    dual = build_dual_tree(pts, pts, 10, source_weights=np.ones(5000))
+    lists = build_lists(dual)
+    dag = build_fmm_dag(dual, lists)
+    with pytest.raises(ValueError):
+        dag_to_dot(dag, max_nodes=100)

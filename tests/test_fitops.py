@@ -1,0 +1,129 @@
+"""Fitted translation operators: accuracy, caching, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.expo import assign_direction
+from repro.kernels.fitops import OperatorFactory, fit_linear_map, octant_offset
+
+RNG = np.random.default_rng(55)
+
+
+def _sources(n=25):
+    return RNG.uniform(-0.5, 0.5, (n, 3)), RNG.normal(size=25)
+
+
+def test_octant_offsets_distinct():
+    offs = {tuple(octant_offset(o)) for o in range(8)}
+    assert len(offs) == 8
+    for o in range(8):
+        assert np.all(np.abs(octant_offset(o)) == 0.25)
+
+
+def test_fit_linear_map_recovers_exact_map():
+    A = RNG.normal(size=(50, 8)) + 1j * RNG.normal(size=(50, 8))
+    T_true = RNG.normal(size=(6, 8))
+    B = A @ T_true.T
+    T = fit_linear_map(A, B)
+    assert np.allclose(T, T_true, atol=1e-10)
+
+
+@pytest.mark.parametrize("kern", ["laplace", "yukawa"])
+def test_m2m_accuracy(kern, laplace, yukawa, laplace_factory, yukawa_factory):
+    k = laplace if kern == "laplace" else yukawa
+    F = laplace_factory if kern == "laplace" else yukawa_factory
+    h = 0.5
+    src, q = _sources()
+    for oct_ in (0, 5, 7):
+        off = octant_offset(oct_)
+        Mc = k.p2m(src, q, h)
+        Mp_fit = F.m2m(oct_, h) @ Mc
+        Mp_exact = k.p2m(off + src / 2.0, q, 2 * h)
+        far = RNG.uniform(-0.5, 0.5, (10, 3)) + np.array([4.0, 3.0, 3.0])
+        a = k.m2t(Mp_fit, far, 2 * h)
+        b = k.m2t(Mp_exact, far, 2 * h)
+        assert np.max(np.abs(a - b)) / np.max(np.abs(b)) < 1e-5
+
+
+@pytest.mark.parametrize("kern", ["laplace", "yukawa"])
+def test_m2l_accuracy(kern, laplace, yukawa, laplace_factory, yukawa_factory):
+    k = laplace if kern == "laplace" else yukawa
+    F = laplace_factory if kern == "laplace" else yukawa_factory
+    h = 0.5
+    src, q = _sources()
+    for delta in [(2, 0, 0), (3, -2, 1), (-2, 3, -3)]:
+        L = F.m2l(delta, h) @ k.p2m(src, q, h)
+        tin = RNG.uniform(-0.5, 0.5, (10, 3))
+        phi = k.l2t(L, tin, h)
+        exact = k.direct((tin + np.array(delta, dtype=float)) * h, src * h, q)
+        # corner offsets sit at the truncation floor for p=10; the paper's
+        # requirement is 3 digits
+        assert np.max(np.abs(phi - exact)) / np.max(np.abs(exact)) < 5e-4
+
+
+@pytest.mark.parametrize("kern", ["laplace", "yukawa"])
+def test_l2l_accuracy(kern, laplace, yukawa, laplace_factory, yukawa_factory):
+    k = laplace if kern == "laplace" else yukawa
+    F = laplace_factory if kern == "laplace" else yukawa_factory
+    h = 1.0
+    far = RNG.uniform(-0.5, 0.5, (15, 3)) * 1.0 + np.array([3.5, -2.5, 2.0])
+    qf = RNG.normal(size=15)
+    Lp = k.p2l(far, qf, h)
+    for oct_ in (1, 6):
+        off = octant_offset(oct_)
+        Lc = F.l2l(oct_, h) @ Lp
+        yin = RNG.uniform(-0.5, 0.5, (10, 3))
+        phi = k.l2t(Lc, yin, h / 2)
+        exact = k.direct((off + yin / 2.0) * h, far * h, qf)
+        assert np.max(np.abs(phi - exact)) / np.max(np.abs(exact)) < 1e-4
+
+
+@pytest.mark.parametrize("kern", ["laplace", "yukawa"])
+def test_exponential_chain_accuracy(kern, laplace, yukawa, laplace_factory, yukawa_factory):
+    """M->I -> I->I -> I->L reproduces the same field as direct M->L."""
+    k = laplace if kern == "laplace" else yukawa
+    F = laplace_factory if kern == "laplace" else yukawa_factory
+    h = 0.5
+    src, q = _sources()
+    M = k.p2m(src, q, h)
+    for delta in [(0, 0, 2), (1, 3, -2), (-3, 1, 0)]:
+        d = assign_direction(delta)
+        W = F.m2i(d, h) @ M
+        V = W * F.i2i(d, delta, h)
+        L = F.i2l(d, h) @ V
+        tin = RNG.uniform(-0.5, 0.5, (10, 3))
+        phi = k.l2t(L, tin, h)
+        exact = k.direct((tin + np.array(delta, dtype=float)) * h, src * h, q)
+        assert np.max(np.abs(phi - exact)) / np.max(np.abs(exact)) < 2e-3
+
+
+def test_cache_returns_same_object(laplace_factory):
+    a = laplace_factory.m2m(2, 0.5)
+    b = laplace_factory.m2m(2, 0.5)
+    assert a is b
+
+
+def test_laplace_scale_invariance_of_cache(laplace_factory):
+    """Laplace operators are shared across levels (level_key is None)."""
+    a = laplace_factory.m2m(3, 0.5)
+    b = laplace_factory.m2m(3, 0.125)
+    assert a is b
+
+
+def test_yukawa_per_level_operators(yukawa_factory):
+    a = yukawa_factory.m2m(3, 0.5)
+    b = yukawa_factory.m2m(3, 0.25)
+    assert a is not b
+    assert not np.allclose(a, b)
+
+
+def test_determinism(laplace):
+    F1 = OperatorFactory(laplace, eps=1e-3, seed=7)
+    F2 = OperatorFactory(laplace, eps=1e-3, seed=7)
+    assert np.allclose(F1.m2l((2, 1, 0), 0.5), F2.m2l((2, 1, 0), 0.5))
+
+
+def test_cache_stats(laplace_factory):
+    laplace_factory.m2m(0, 0.5)
+    stats = laplace_factory.cache_stats()
+    assert stats.get("m2m", 0) >= 1

@@ -1,0 +1,116 @@
+"""Field gradients (forces): analytic kernels, expansion derivatives, FMM."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import Kernel
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.yukawa import YukawaKernel
+from repro.methods.fmm import FmmEvaluator
+
+RNG = np.random.default_rng(90)
+
+
+def _fd_direct(kernel, t, sources, w, h=1e-6):
+    g = np.zeros(3)
+    for ax in range(3):
+        dp, dm = t.copy(), t.copy()
+        dp[ax] += h
+        dm[ax] -= h
+        g[ax] = (
+            kernel.direct(dp[None], sources, w)[0]
+            - kernel.direct(dm[None], sources, w)[0]
+        ) / (2 * h)
+    return g
+
+
+@pytest.mark.parametrize("kern", ["laplace", "yukawa"])
+def test_direct_gradient_matches_finite_difference(kern, laplace, yukawa):
+    k = laplace if kern == "laplace" else yukawa
+    sources = RNG.uniform(0, 1, (30, 3))
+    w = RNG.normal(size=30)
+    t = np.array([2.0, 0.3, -1.0])
+    g = k.direct_gradient(t[None], sources, w)[0]
+    assert np.allclose(g, _fd_direct(k, t, sources, w), rtol=1e-5)
+
+
+def test_gradient_zero_at_coincident_point(laplace):
+    pts = RNG.uniform(0, 1, (5, 3))
+    g = laplace.direct_gradient(pts, pts, np.ones(5))
+    assert np.isfinite(g).all()
+
+
+def test_default_radial_gradient_fallback():
+    """A kernel that doesn't override greens_gradient still gets one."""
+
+    class Gaussian(Kernel):
+        name = "gaussian"
+
+        def greens(self, r):
+            return np.exp(-(r**2))
+
+        def p2m_matrix(self, rel, scale):  # pragma: no cover - unused here
+            raise NotImplementedError
+
+        def p2l_matrix(self, rel, scale):  # pragma: no cover
+            raise NotImplementedError
+
+        def m2t_matrix(self, rel, scale):  # pragma: no cover
+            raise NotImplementedError
+
+        def l2t_matrix(self, rel, scale):  # pragma: no cover
+            raise NotImplementedError
+
+    g = Gaussian(2)
+    d = np.array([[0.5, -0.3, 0.2]])
+    r = np.linalg.norm(d[0])
+    expected = -2 * r * np.exp(-(r**2)) * d[0] / r
+    assert np.allclose(g.greens_gradient(d)[0], expected, rtol=1e-5)
+
+
+def test_expansion_gradients_match_direct(laplace, laplace_factory):
+    sources = RNG.uniform(-0.5, 0.5, (25, 3))
+    w = RNG.normal(size=25)
+    h = 0.5
+    # multipole gradient at far points
+    M = laplace.p2m(sources, w, h)
+    far = RNG.uniform(-0.5, 0.5, (8, 3)) + np.array([3.0, 2.0, -2.5])
+    g_m = laplace.m2t_gradient(M, far, h)
+    g_exact = laplace.direct_gradient(far * h, sources * h, w)
+    assert np.max(np.abs(g_m - g_exact)) / np.max(np.abs(g_exact)) < 1e-4
+    # local gradient at near points
+    L = laplace.p2l(far, w[:8], h)
+    near = RNG.uniform(-0.5, 0.5, (8, 3))
+    g_l = laplace.l2t_gradient(L, near, h)
+    g_exact2 = laplace.direct_gradient(near * h, far * h, w[:8])
+    assert np.max(np.abs(g_l - g_exact2)) / np.max(np.abs(g_exact2)) < 1e-4
+
+
+@pytest.mark.parametrize("kern", ["laplace", "yukawa"])
+def test_fmm_gradients(kern, laplace, yukawa, laplace_factory, yukawa_factory, small_cloud):
+    k = laplace if kern == "laplace" else yukawa
+    F = laplace_factory if kern == "laplace" else yukawa_factory
+    src, w, tgt = small_cloud
+    ev = FmmEvaluator(k, threshold=30, factory=F)
+    phi, grad = ev.evaluate(src, w, tgt, gradients=True)
+    probe = slice(0, 300)
+    exact = k.direct_gradient(tgt[probe], src, w)
+    err = np.linalg.norm(grad[probe] - exact) / np.linalg.norm(exact)
+    assert err < 2e-3
+    # the potentials are unchanged by asking for gradients
+    phi_only = ev.evaluate(src, w, tgt)
+    assert np.allclose(phi, phi_only)
+
+
+def test_fmm_gradients_with_adaptive_lists(laplace, laplace_factory):
+    """Sphere data exercises the M->T gradient path (list 3)."""
+    from repro.workloads.distributions import sphere_points
+
+    src = sphere_points(1500, seed=1)
+    tgt = sphere_points(1500, seed=2)
+    w = RNG.normal(size=1500)
+    ev = FmmEvaluator(laplace, threshold=30, factory=laplace_factory)
+    _, grad = ev.evaluate(src, w, tgt, gradients=True)
+    exact = laplace.direct_gradient(tgt[:200], src, w)
+    err = np.linalg.norm(grad[:200] - exact) / np.linalg.norm(exact)
+    assert err < 2e-3

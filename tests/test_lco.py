@@ -1,0 +1,129 @@
+"""LCO semantics: predicates, continuations, late registration."""
+
+import pytest
+
+from repro.hpx import AndLCO, Future, ReductionLCO, Runtime, RuntimeConfig
+from repro.hpx.scheduler import Task
+
+
+def _rt(**kw):
+    return Runtime(RuntimeConfig(n_localities=1, workers_per_locality=2, **kw))
+
+
+def _setter(rt, lco, value=None, at=0.0):
+    rt.enqueue_task(
+        Task(fn=lambda ctx: ctx.lco_set(lco, value), op_class="set", cost=1e-6), 0
+    )
+
+
+def test_future_triggers_once():
+    rt = _rt()
+    fut = Future(rt, 0)
+    seen = []
+    fut.on_trigger(lambda ctx: seen.append(fut.value))
+    _setter(rt, fut, "hello")
+    rt.run()
+    assert fut.triggered
+    assert seen == ["hello"]
+
+
+def test_future_double_set_is_error():
+    rt = _rt()
+    fut = Future(rt, 0)
+    fut.on_trigger(lambda ctx: None)
+    _setter(rt, fut, 1)
+    _setter(rt, fut, 2)
+    with pytest.raises(RuntimeError):
+        rt.run()
+
+
+def test_and_lco_counts():
+    rt = _rt()
+    lco = AndLCO(rt, 0, n_inputs=3)
+    seen = []
+    lco.on_trigger(lambda ctx: seen.append("done"))
+    for _ in range(3):
+        _setter(rt, lco)
+    rt.run()
+    assert seen == ["done"]
+
+
+def test_and_lco_not_triggered_early():
+    rt = _rt()
+    lco = AndLCO(rt, 0, n_inputs=3)
+    lco.on_trigger(lambda ctx: None)
+    _setter(rt, lco)
+    _setter(rt, lco)
+    rt.run()
+    assert not lco.triggered
+
+
+def test_reduction_sums_inputs():
+    rt = _rt()
+    red = ReductionLCO(rt, 0, 4, lambda a, b: a + b, 0)
+    out = []
+    red.on_trigger(lambda ctx: out.append(red.value))
+    for v in (1, 2, 3, 4):
+        _setter(rt, red, v)
+    rt.run()
+    assert out == [10]
+
+
+def test_continuation_after_trigger_runs_immediately():
+    rt = _rt()
+    fut = Future(rt, 0)
+    _setter(rt, fut, 99)
+    rt.run()
+    assert fut.triggered
+    # register after trigger: must still run (Fig. 2 backfill semantics)
+    late = []
+    fut.on_trigger(lambda ctx: late.append(fut.value))
+    rt.run()
+    assert late == [99]
+
+
+def test_multiple_continuations_all_run():
+    rt = _rt()
+    lco = AndLCO(rt, 0, 1)
+    seen = []
+    for i in range(5):
+        lco.on_trigger(lambda ctx, i=i: seen.append(i))
+    _setter(rt, lco)
+    rt.run()
+    assert sorted(seen) == [0, 1, 2, 3, 4]
+
+
+def test_lco_lives_in_gas():
+    rt = _rt()
+    fut = Future(rt, 0)
+    assert rt.gas.translate(fut.addr, 0) is fut
+
+
+def test_invalid_input_counts():
+    rt = _rt()
+    with pytest.raises(ValueError):
+        AndLCO(rt, 0, 0)
+    with pytest.raises(ValueError):
+        ReductionLCO(rt, 0, 0, lambda a, b: a, None)
+
+
+def test_chained_dataflow():
+    """LCO triggering spawns a task that sets the next LCO (a pipeline)."""
+    rt = _rt()
+    a = Future(rt, 0)
+    b = Future(rt, 0)
+    c = Future(rt, 0)
+
+    def forward(dst):
+        def body(ctx):
+            ctx.charge("fwd", 1e-6)
+            ctx.lco_set(dst, "token")
+
+        return body
+
+    a.on_trigger(forward(b), op_class="fwd")
+    b.on_trigger(forward(c), op_class="fwd")
+    _setter(rt, a, "token")
+    t = rt.run()
+    assert c.triggered
+    assert t >= 3e-6  # three sequential microsecond tasks

@@ -1,0 +1,229 @@
+"""Interaction-list semantics: the Fig. 1b definitions, coverage, pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.box import well_separated
+from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import adjacent, build_lists
+from repro.tree.morton import decode_morton, encode_morton
+
+
+def _dual(ns, nt, threshold, seed=0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    s = rng.uniform(0, 1, (ns, 3))
+    t = rng.uniform(0, 1, (nt, 3)) + offset
+    return build_dual_tree(s, t, threshold, source_weights=np.ones(ns))
+
+
+# -- adjacency ----------------------------------------------------------------
+def test_adjacent_same_level():
+    a = encode_morton(3, 2, 2, 2)
+    assert adjacent(a, encode_morton(3, 3, 2, 2))
+    assert adjacent(a, encode_morton(3, 3, 3, 3))
+    assert adjacent(a, a)
+    assert not adjacent(a, encode_morton(3, 4, 2, 2))
+
+
+def test_adjacent_cross_level():
+    parent = encode_morton(2, 1, 1, 1)
+    child_inside = encode_morton(3, 2, 2, 2)
+    assert adjacent(parent, child_inside)  # containment counts as touching
+    far_child = encode_morton(3, 7, 7, 7)
+    assert not adjacent(parent, far_child)
+    touching_child = encode_morton(3, 4, 2, 2)
+    assert adjacent(parent, touching_child)
+
+
+def test_adjacent_symmetric():
+    a = encode_morton(2, 1, 0, 3)
+    b = encode_morton(4, 7, 2, 12)
+    assert adjacent(a, b) == adjacent(b, a)
+
+
+# -- list semantics ---------------------------------------------------------------
+def test_l2_well_separated_same_level_parents_adjacent():
+    dual = _dual(3000, 3000, 30, seed=1)
+    lists = build_lists(dual)
+    src, tgt = dual.source, dual.target
+    assert lists.counts()["l2"] > 0
+    for ti, sis in lists.l2.items():
+        t = tgt.boxes[ti]
+        for si in sis:
+            s = src.boxes[si]
+            assert s.level == t.level
+            assert well_separated(t.key, s.key)
+            assert adjacent(
+                t.key >> 3, s.key >> 3
+            ), "parents of list-2 boxes must not be well-separated"
+
+
+def test_l1_leaf_adjacent():
+    dual = _dual(2000, 2000, 30, seed=2)
+    lists = build_lists(dual)
+    src, tgt = dual.source, dual.target
+    for ti, sis in lists.l1.items():
+        t = tgt.boxes[ti]
+        assert t.is_leaf
+        for si in sis:
+            s = src.boxes[si]
+            assert s.is_leaf
+            assert adjacent(t.key, s.key)
+
+
+def test_l3_target_ws_from_box_but_not_parent():
+    dual = _dual(4000, 4000, 20, seed=3)
+    lists = build_lists(dual)
+    src, tgt = dual.source, dual.target
+    for ti, sis in lists.l3.items():
+        t = tgt.boxes[ti]
+        assert t.is_leaf
+        for si in sis:
+            s = src.boxes[si]
+            assert s.level > t.level
+            assert not adjacent(t.key, s.key)  # Bt well-separated from Bs
+            parent = src.key_to_index[s.parent]
+            assert adjacent(t.key, src.boxes[parent].key)  # but not from parent
+
+
+def test_l4_coarser_leaf_ws_from_box_not_parent():
+    dual = _dual(4000, 4000, 20, seed=4)
+    lists = build_lists(dual)
+    src, tgt = dual.source, dual.target
+    for ti, sis in lists.l4.items():
+        t = tgt.boxes[ti]
+        for si in sis:
+            s = src.boxes[si]
+            assert s.is_leaf
+            assert s.level < t.level
+            assert not adjacent(t.key, s.key)
+            assert adjacent(tgt.boxes[tgt.key_to_index[t.parent]].key, s.key)
+
+
+# -- coverage: every (target point, source leaf) interaction handled once -----------
+def _covering_ops(dual, lists, t_leaf, s_leaf):
+    """All list entries that cover the (target leaf, source leaf) pair."""
+    src, tgt = dual.source, dual.target
+    hits = []
+    # ancestors of both (including themselves)
+    t_anc = []
+    b = t_leaf
+    while True:
+        t_anc.append(b)
+        if b.parent is None:
+            break
+        b = tgt.boxes[tgt.key_to_index[b.parent]]
+    s_anc = []
+    b = s_leaf
+    while True:
+        s_anc.append(b)
+        if b.parent is None:
+            break
+        b = src.boxes[src.key_to_index[b.parent]]
+    s_anc_idx = {b.index for b in s_anc}
+    for ta in t_anc:
+        for name, table in (("l1", lists.l1), ("l2", lists.l2), ("l3", lists.l3), ("l4", lists.l4)):
+            for si in table.get(ta.index, ()):
+                if si in s_anc_idx:
+                    hits.append((name, ta.index, si))
+    return hits
+
+
+@pytest.mark.parametrize("offset,seed", [(0.0, 5), (0.5, 6), (3.0, 7)])
+def test_interaction_coverage_exactly_once(offset, seed):
+    """Identical / overlapping / disjoint ensembles: each (target leaf,
+    source leaf) pair is covered by exactly one list entry among the
+    ancestors - the FMM's correctness skeleton."""
+    dual = _dual(600, 600, 15, seed=seed, offset=offset)
+    lists = build_lists(dual)
+    src, tgt = dual.source, dual.target
+    dead = set()
+    for b in tgt.boxes:  # skip anything below a pruned box
+        pi = tgt.key_to_index[b.parent] if b.parent is not None else None
+        if pi is not None and (pi in lists.pruned or pi in dead):
+            dead.add(b.index)
+    rng = np.random.default_rng(seed)
+    # evaluation leaves: live leaves plus pruned boxes (which act as
+    # evaluation leaves for everything below them)
+    t_leaves = [
+        b
+        for b in tgt.boxes
+        if b.count
+        and b.index not in dead
+        and (b.is_leaf or b.index in lists.pruned)
+    ]
+    s_leaves = [b for b in src.boxes if b.is_leaf and b.count]
+    assert t_leaves and s_leaves
+    for _ in range(300):
+        t = t_leaves[rng.integers(len(t_leaves))]
+        s = s_leaves[rng.integers(len(s_leaves))]
+        # if t sits under a pruned box, coverage is accounted at the pruned box
+        hits = _covering_ops(dual, lists, t, s)
+        assert len(hits) == 1, (t.key, s.key, hits)
+
+
+def test_pruned_boxes_only_for_separated_ensembles():
+    dual = _dual(1000, 1000, 30, seed=8)  # identical cube: nothing prunes
+    lists = build_lists(dual)
+    assert not lists.pruned
+
+
+def test_pruning_far_ensembles():
+    rng = np.random.default_rng(9)
+    s = rng.uniform(0, 0.25, (500, 3))
+    t = rng.uniform(0, 0.25, (500, 3)) + 3.0
+    dual = build_dual_tree(s, t, 30, source_weights=np.ones(500))
+    lists = build_lists(dual)
+    assert lists.pruned, "distant ensembles must prune the target sub-tree"
+    # pruned boxes are not leaves and have no deeper list entries
+    tgt = dual.target
+    for pi in lists.pruned:
+        assert not tgt.boxes[pi].is_leaf
+
+
+def test_uniform_cube_has_no_adaptive_lists():
+    """The paper's traced cube run exercises no M2T/S2L edges: uniform
+    trees have empty lists 3 and 4."""
+    # a perfectly uniform lattice of points, one per cell at level 3
+    g = (np.arange(8) + 0.5) / 8.0
+    pts = np.array(np.meshgrid(g, g, g)).reshape(3, -1).T
+    dual = build_dual_tree(pts, pts, 1, source_weights=np.ones(len(pts)))
+    lists = build_lists(dual)
+    c = lists.counts()
+    assert c["l3"] == 0 and c["l4"] == 0
+    assert c["l1"] > 0 and c["l2"] > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.sampled_from([0.0, 1.5]))
+def test_list_disjointness_property(seed, offset):
+    """No source box appears in two different lists of one target box."""
+    dual = _dual(300, 300, 10, seed=seed, offset=offset)
+    lists = build_lists(dual)
+    for ti in set(lists.l1) | set(lists.l2) | set(lists.l3) | set(lists.l4):
+        all_entries = (
+            lists.l1.get(ti, [])
+            + lists.l2.get(ti, [])
+            + lists.l3.get(ti, [])
+            + lists.l4.get(ti, [])
+        )
+        assert len(all_entries) == len(set(all_entries))
+
+
+def test_beta_dilation_definition_consistent_with_lattice_rule():
+    """The paper's beta-dilation well-separatedness agrees with the
+    lattice rule for same-level boxes."""
+    import numpy as np
+    from repro.tree.box import Domain, well_separated, well_separated_levels
+
+    dom = Domain(origin=np.zeros(3), size=1.0)
+    a = encode_morton(3, 2, 2, 2)
+    for dx in range(-3, 4):
+        for dy in range(-3, 4):
+            x, y, z = 2 + dx, 2 + dy, 2
+            if not (0 <= x < 8 and 0 <= y < 8):
+                continue
+            b = encode_morton(3, x, y, z)
+            assert well_separated(a, b) == well_separated_levels(dom, a, b), (dx, dy)

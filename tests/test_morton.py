@@ -1,0 +1,131 @@
+"""Morton key encoding/decoding and hierarchy relations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.morton import (
+    MAX_LEVEL,
+    decode_morton,
+    encode_morton,
+    encode_points,
+    morton_ancestor,
+    morton_children,
+    morton_level,
+    morton_parent,
+)
+
+
+def test_root_key():
+    assert encode_morton(0, 0, 0, 0) == 1
+    assert decode_morton(1) == (0, 0, 0, 0)
+
+
+def test_roundtrip_scalar():
+    key = encode_morton(5, 3, 17, 30)
+    assert decode_morton(key) == (5, 3, 17, 30)
+
+
+def test_levels_do_not_collide():
+    # the same lattice coords at different levels give different keys
+    k1 = encode_morton(3, 1, 2, 3)
+    k2 = encode_morton(4, 1, 2, 3)
+    assert k1 != k2
+    assert morton_level(k1) == 3
+    assert morton_level(k2) == 4
+
+
+def test_children_parent_inverse():
+    key = encode_morton(4, 5, 9, 2)
+    for c in morton_children(key):
+        assert morton_parent(c) == key
+        assert morton_level(c) == 5
+
+
+def test_children_are_distinct_octants():
+    key = encode_morton(2, 1, 1, 1)
+    kids = morton_children(key)
+    assert len(set(kids)) == 8
+    offs = set()
+    for c in kids:
+        _, x, y, z = decode_morton(c)
+        offs.add((x % 2, y % 2, z % 2))
+    assert len(offs) == 8
+
+
+def test_ancestor():
+    key = encode_morton(6, 33, 12, 61)
+    assert morton_ancestor(key, 0) == key
+    assert morton_ancestor(key, 6) == 1  # root
+    assert morton_level(morton_ancestor(key, 2)) == 4
+
+
+def test_vector_roundtrip():
+    rng = np.random.default_rng(0)
+    level = 9
+    n = 1 << level
+    ix = rng.integers(0, n, 1000)
+    iy = rng.integers(0, n, 1000)
+    iz = rng.integers(0, n, 1000)
+    keys = encode_morton(level, ix, iy, iz)
+    lv, ox, oy, oz = decode_morton(keys)
+    assert np.all(lv == level)
+    assert np.all(ox == ix) and np.all(oy == iy) and np.all(oz == iz)
+
+
+def test_vector_level():
+    keys = np.array([encode_morton(l, 0, 0, 0) for l in range(MAX_LEVEL + 1)])
+    assert np.array_equal(morton_level(keys), np.arange(MAX_LEVEL + 1))
+
+
+def test_encode_points_clamps_far_face():
+    pts = np.array([[1.0, 1.0, 1.0], [0.0, 0.0, 0.0]])
+    keys = encode_points(pts, np.zeros(3), 1.0, 3)
+    lv, x, y, z = decode_morton(keys)
+    assert x[0] == y[0] == z[0] == 7  # clamped into last cell
+    assert x[1] == y[1] == z[1] == 0
+
+
+def test_encode_points_bucketing():
+    # a point in the middle of cell (2, 5, 1) at level 3
+    h = 1.0 / 8
+    pt = np.array([[2.5 * h, 5.5 * h, 1.5 * h]])
+    key = encode_points(pt, np.zeros(3), 1.0, 3)[0]
+    assert decode_morton(int(key)) == (3, 2, 5, 1)
+
+
+def test_morton_order_is_hierarchical():
+    """Sorting by deep keys groups descendants of any box contiguously."""
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 1, (500, 3))
+    deep = np.sort(encode_points(pts, np.zeros(3), 1.0, MAX_LEVEL))
+    coarse = morton_ancestor(deep, 3 * (MAX_LEVEL - 2))
+    # coarse keys of sorted deep keys must be non-decreasing
+    assert np.all(np.diff(coarse) >= 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=MAX_LEVEL),
+    st.integers(min_value=0, max_value=2**MAX_LEVEL - 1),
+    st.integers(min_value=0, max_value=2**MAX_LEVEL - 1),
+    st.integers(min_value=0, max_value=2**MAX_LEVEL - 1),
+)
+def test_roundtrip_property(level, ix, iy, iz):
+    n = 1 << level
+    ix, iy, iz = ix % n, iy % n, iz % n
+    assert decode_morton(encode_morton(level, ix, iy, iz)) == (level, ix, iy, iz)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=MAX_LEVEL), st.data())
+def test_parent_contains_child_lattice(level, data):
+    n = 1 << level
+    ix = data.draw(st.integers(0, n - 1))
+    iy = data.draw(st.integers(0, n - 1))
+    iz = data.draw(st.integers(0, n - 1))
+    key = encode_morton(level, ix, iy, iz)
+    pl, px, py, pz = decode_morton(morton_parent(key))
+    assert pl == level - 1
+    assert (px, py, pz) == (ix // 2, iy // 2, iz // 2)

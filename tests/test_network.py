@@ -1,0 +1,53 @@
+"""Network model arithmetic: latency, bandwidth, NIC serialization."""
+
+import pytest
+
+from repro.hpx.network import InfiniteNetwork, NetworkModel
+
+
+def test_latency_plus_transfer():
+    net = NetworkModel(latency=1e-6, bandwidth=1e9, per_parcel_overhead=0.0)
+    t = net.deliver_time(0, 0.0, 1000)
+    assert t == pytest.approx(1e-6 + 1000 / 1e9)
+
+
+def test_per_parcel_overhead():
+    net = NetworkModel(latency=0.0, bandwidth=1e12, per_parcel_overhead=5e-7)
+    t = net.deliver_time(0, 0.0, 1)
+    assert t == pytest.approx(5e-7, rel=1e-3)
+
+
+def test_nic_serialization():
+    """Two parcels from one locality serialize at the NIC."""
+    net = NetworkModel(latency=1e-6, bandwidth=1e9, per_parcel_overhead=0.0)
+    t1 = net.deliver_time(0, 0.0, 1_000_000)  # 1 ms injection
+    t2 = net.deliver_time(0, 0.0, 1_000_000)
+    assert t2 == pytest.approx(t1 + 1e-3)
+
+
+def test_different_nics_independent():
+    net = NetworkModel(latency=1e-6, bandwidth=1e9, per_parcel_overhead=0.0)
+    t1 = net.deliver_time(0, 0.0, 1_000_000)
+    t2 = net.deliver_time(1, 0.0, 1_000_000)
+    assert t1 == pytest.approx(t2)
+
+
+def test_nic_idle_gap_not_charged():
+    net = NetworkModel(latency=0.0, bandwidth=1e9, per_parcel_overhead=0.0)
+    net.deliver_time(0, 0.0, 1000)
+    # a much later send is not delayed by the first
+    t = net.deliver_time(0, 1.0, 1000)
+    assert t == pytest.approx(1.0 + 1e-6)
+
+
+def test_reset_clears_nic_state():
+    net = NetworkModel(latency=0.0, bandwidth=1e9, per_parcel_overhead=0.0)
+    net.deliver_time(0, 0.0, 10_000_000)
+    net.reset()
+    t = net.deliver_time(0, 0.0, 1000)
+    assert t == pytest.approx(1e-6)
+
+
+def test_infinite_network_is_free():
+    net = InfiniteNetwork()
+    assert net.deliver_time(0, 3.5, 10**9) == 3.5

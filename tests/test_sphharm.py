@@ -1,0 +1,106 @@
+"""Spherical-harmonic primitives: recurrences, normalization, identities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import lpmv
+
+from repro.kernels.sphharm import (
+    Harmonics,
+    assoc_legendre,
+    idx,
+    legendre_poly,
+    nm_arrays,
+    nterms,
+)
+
+
+def test_indexing():
+    assert nterms(0) == 1
+    assert nterms(3) == 16
+    assert idx(0, 0) == 0
+    assert idx(1, -1) == 1 and idx(1, 0) == 2 and idx(1, 1) == 3
+    ns, ms = nm_arrays(4)
+    for n in range(5):
+        for m in range(-n, n + 1):
+            i = idx(n, m)
+            assert ns[i] == n and ms[i] == m
+
+
+def test_assoc_legendre_matches_scipy():
+    x = np.linspace(-0.99, 0.99, 7)
+    P = assoc_legendre(6, x)
+    for n in range(7):
+        for m in range(n + 1):
+            assert np.allclose(P[:, n, m], lpmv(m, n, x), atol=1e-12), (n, m)
+
+
+def test_legendre_poly_matches_scipy():
+    x = np.linspace(-1, 1, 9)
+    L = legendre_poly(8, x)
+    for n in range(9):
+        assert np.allclose(L[:, n], lpmv(0, n, x), atol=1e-12)
+
+
+def test_addition_theorem():
+    rng = np.random.default_rng(0)
+    p = 10
+    h = Harmonics(p)
+    x = rng.normal(size=(6, 3))
+    y = rng.normal(size=(6, 3))
+    yx, yy = h.ynm(x), h.ynm(y)
+    rx = np.linalg.norm(x, axis=1)
+    ry = np.linalg.norm(y, axis=1)
+    cg = np.sum(x * y, axis=1) / (rx * ry)
+    Pn = legendre_poly(p, cg)
+    for n in range(p + 1):
+        s = np.sum(
+            yx[:, n * n : (n + 1) * (n + 1)] * np.conj(yy[:, n * n : (n + 1) * (n + 1)]),
+            axis=1,
+        )
+        assert np.allclose(s.imag, 0, atol=1e-10)
+        assert np.allclose(s.real, Pn[:, n], atol=1e-9)
+
+
+def test_conjugation_symmetry():
+    """Y_n^{-m} = (-1)^m conj(Y_n^m) with the CS-phase convention."""
+    rng = np.random.default_rng(1)
+    h = Harmonics(6)
+    y = h.ynm(rng.normal(size=(4, 3)))
+    for n in range(7):
+        for m in range(1, n + 1):
+            a = y[:, idx(n, -m)]
+            b = (-1.0) ** m * np.conj(y[:, idx(n, m)])
+            assert np.allclose(a, b, atol=1e-12), (n, m)
+
+
+def test_y00_is_one():
+    h = Harmonics(3)
+    y = h.ynm(np.array([[0.3, -0.2, 0.7]]))
+    assert np.allclose(y[0, 0], 1.0)
+
+
+def test_origin_is_safe():
+    h = Harmonics(4)
+    y = h.ynm(np.zeros((1, 3)))
+    assert np.isfinite(y).all()
+    assert np.allclose(y[0, 0], 1.0)
+
+
+def test_powers():
+    h = Harmonics(3)
+    pw = h.powers(np.array([2.0, 0.5, 0.0]))
+    assert np.allclose(pw[0, idx(2, 0)], 4.0)
+    assert np.allclose(pw[1, idx(3, 1)], 0.125)
+    assert pw[2, idx(0, 0)] == 1.0
+    assert np.all(pw[2, 1:] == 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_ynm_unit_magnitude_bound(seed):
+    """|Y_n^m| <= 1 with this normalization (since |P_n^m| sqrt ratio <= 1)."""
+    rng = np.random.default_rng(seed)
+    h = Harmonics(8)
+    y = h.ynm(rng.normal(size=(3, 3)))
+    assert np.all(np.abs(y) <= 1.0 + 1e-9)

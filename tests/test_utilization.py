@@ -1,0 +1,103 @@
+"""Eq. (1)-(2) utilization fractions and the dip locator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import (
+    _bin_intervals,
+    class_utilization,
+    total_utilization,
+    underutilized_region,
+)
+from repro.hpx.tracing import Tracer
+
+
+def test_bin_intervals_within_one_bin():
+    edges = np.linspace(0, 1, 11)
+    out = _bin_intervals(np.array([0.11]), np.array([0.19]), edges)
+    assert out[1] == pytest.approx(0.08)
+    assert out.sum() == pytest.approx(0.08)
+
+
+def test_bin_intervals_spanning_bins():
+    edges = np.linspace(0, 1, 11)
+    out = _bin_intervals(np.array([0.05]), np.array([0.35]), edges)
+    assert out[0] == pytest.approx(0.05)
+    assert out[1] == pytest.approx(0.1)
+    assert out[2] == pytest.approx(0.1)
+    assert out[3] == pytest.approx(0.05)
+    assert out.sum() == pytest.approx(0.3)
+
+
+def test_full_busy_gives_unit_fraction():
+    tr = Tracer()
+    # 2 workers busy for the whole 1-second run
+    tr.record(0, "work", 0.0, 1.0)
+    tr.record(1, "work", 0.0, 1.0)
+    fk = total_utilization(tr, n_workers=2, total_time=1.0, n_intervals=10)
+    assert np.allclose(fk, 1.0)
+
+
+def test_half_busy():
+    tr = Tracer()
+    tr.record(0, "work", 0.0, 1.0)  # worker 1 idle throughout
+    fk = total_utilization(tr, 2, 1.0, 10)
+    assert np.allclose(fk, 0.5)
+
+
+def test_class_fractions_sum_to_total():
+    tr = Tracer()
+    tr.record(0, "a", 0.0, 0.5)
+    tr.record(0, "b", 0.5, 1.0)
+    tr.record(1, "a", 0.2, 0.9)
+    fks = class_utilization(tr, 2, 1.0, 20)
+    total = total_utilization(tr, 2, 1.0, 20)
+    assert np.allclose(fks["a"] + fks["b"], total)
+
+
+def test_runtime_classes_excluded_by_default():
+    tr = Tracer()
+    tr.record(0, "work", 0.0, 1.0)
+    tr.record(1, "_progress", 0.0, 1.0)
+    fk = total_utilization(tr, 2, 1.0, 5)
+    assert np.allclose(fk, 0.5)
+    fk_all = total_utilization(tr, 2, 1.0, 5, include_runtime=True)
+    assert np.allclose(fk_all, 1.0)
+
+
+def test_empty_trace():
+    assert np.allclose(total_utilization(Tracer(), 2, 1.0, 10), 0.0)
+    assert class_utilization(Tracer(), 2, 1.0, 10) == {}
+
+
+def test_underutilized_region_found():
+    fk = np.ones(100) * 0.9
+    fk[70:85] = 0.2  # a dip
+    start, end = underutilized_region(fk)
+    assert (start, end) == (70, 85)
+
+
+def test_underutilized_region_absent():
+    fk = np.ones(100) * 0.9
+    start, end = underutilized_region(fk)
+    assert (start, end) == (100, 100)
+
+
+def test_underutilized_ignores_startup_ramp():
+    fk = np.ones(100) * 0.9
+    fk[:10] = 0.1  # startup ramp, inside the settle window
+    fk[60:70] = 0.2
+    start, end = underutilized_region(fk, settle=0.2)
+    assert (start, end) == (60, 70)
+
+
+def test_tracer_zero_length_intervals_dropped():
+    tr = Tracer()
+    tr.record(0, "x", 1.0, 1.0)
+    assert len(tr) == 0
+
+
+def test_tracer_disabled():
+    tr = Tracer(enabled=False)
+    tr.record(0, "x", 0.0, 1.0)
+    assert len(tr) == 0

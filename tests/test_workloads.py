@@ -1,0 +1,58 @@
+"""Workload generators: geometry and determinism."""
+
+import numpy as np
+
+from repro.workloads.distributions import (
+    cube_points,
+    plummer_points,
+    random_charges,
+    sphere_points,
+)
+
+
+def test_cube_in_bounds():
+    pts = cube_points(1000, seed=1)
+    assert pts.shape == (1000, 3)
+    assert np.all(pts >= 0) and np.all(pts <= 1)
+
+
+def test_sphere_on_surface():
+    pts = sphere_points(1000, seed=1, radius=0.5)
+    r = np.linalg.norm(pts - 0.5, axis=1)
+    assert np.allclose(r, 0.5)
+
+
+def test_sphere_tree_is_deeper_than_cube_tree():
+    """The paper: sphere data produces more non-uniform trees with a
+    longer critical path."""
+    from repro.tree.dualtree import build_dual_tree
+
+    n = 20000
+    cube = build_dual_tree(cube_points(n, 1), cube_points(n, 2), 60,
+                           source_weights=np.ones(n))
+    sph = build_dual_tree(sphere_points(n, 1), sphere_points(n, 2), 60,
+                          source_weights=np.ones(n))
+    assert sph.source.depth >= cube.source.depth
+    # non-uniformity: sphere leaves span strictly more levels
+    cube_leaf_levels = {b.level for b in cube.source.boxes if b.is_leaf and b.count}
+    sph_leaf_levels = {b.level for b in sph.source.boxes if b.is_leaf and b.count}
+    assert len(sph_leaf_levels) > len(cube_leaf_levels)
+
+
+def test_plummer_is_clustered():
+    pts = plummer_points(5000, seed=1, scale=0.1)
+    r = np.linalg.norm(pts - pts.mean(axis=0), axis=1)
+    # half-mass radius much smaller than the max radius
+    assert np.median(r) < 0.3 * r.max()
+
+
+def test_determinism():
+    assert np.allclose(cube_points(100, 5), cube_points(100, 5))
+    assert np.allclose(sphere_points(100, 5), sphere_points(100, 5))
+    assert np.allclose(plummer_points(100, 5), plummer_points(100, 5))
+    assert not np.allclose(cube_points(100, 5), cube_points(100, 6))
+
+
+def test_neutral_charges():
+    q = random_charges(1000, seed=1, neutral=True)
+    assert abs(q.sum()) < 1e-10
