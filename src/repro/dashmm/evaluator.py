@@ -87,6 +87,7 @@ class DashmmEvaluator:
         size_model: SizeModel | None = None,
         coalesce: bool = True,
         sequential_edges: bool = True,
+        batch_edges: bool = True,
         theta: float = 0.5,
         eps: float = 1e-4,
         factory: OperatorFactory | None = None,
@@ -103,9 +104,12 @@ class DashmmEvaluator:
         self.size_model = size_model or SizeModel()
         self.coalesce = coalesce
         self.sequential_edges = sequential_edges
+        self.batch_edges = batch_edges
         self.theta = theta
+        # the shared factory fits each translation operator at most once
+        # per process, no matter how many evaluators are constructed
         self.factory = factory or (
-            OperatorFactory(kernel, eps=eps) if mode == "numeric" else None
+            OperatorFactory.shared(kernel, eps=eps) if mode == "numeric" else None
         )
 
     # -- DAG construction -------------------------------------------------------
@@ -156,6 +160,7 @@ class DashmmEvaluator:
             size_model=self.size_model,
             coalesce=self.coalesce,
             sequential_edges=self.sequential_edges,
+            batch_edges=self.batch_edges,
         )
         reg.allocate()
         reg.initial_tasks()
@@ -163,6 +168,7 @@ class DashmmEvaluator:
 
         potentials = None
         if self.mode == "numeric":
+            reg.flush_deferred()
             potentials = np.empty(dual.target.n_points)
             potentials[dual.target.perm] = reg.result
         return EvaluationReport(

@@ -170,21 +170,25 @@ class Scheduler:
         for w in range(self.n_workers):
             if not self.busy[w]:
                 self._push_event(self.now, "pick", w)
-        while self._heap:
-            t, _, kind, data = heapq.heappop(self._heap)
+        # hot loop: pre-bind everything touched per event
+        heap = self._heap
+        heappop = heapq.heappop
+        try_pick = self._try_pick
+        finish = self._finish
+        while heap:
+            t, _, kind, data = heappop(heap)
             if until is not None and t > until:
                 self.now = until
                 break
             self.now = t
             if kind == "pick":
-                self._try_pick(data, t)
+                try_pick(data, t)
             elif kind == "done":
-                self._finish(data, t)
+                finish(data, t)
             elif kind == "parcel":
-                parcel = data
                 if self.deliver_parcel is None:
                     raise RuntimeError("no parcel delivery handler installed")
-                self.deliver_parcel(parcel, t)
+                self.deliver_parcel(data, t)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind}")
         return self.now
@@ -208,24 +212,23 @@ class Scheduler:
 
     def _pop_task(self, worker: int) -> Task | None:
         mine = self.deques[worker]
-        for pr in (HIGH, LOW):
-            if mine[pr]:
-                return mine[pr].pop()  # owner pops LIFO
+        if mine[HIGH]:
+            return mine[HIGH].pop()  # owner pops LIFO
+        if mine[LOW]:
+            return mine[LOW].pop()
         # randomized stealing within the locality, FIFO end, high first
-        loc = self.worker_locality[worker]
+        deques = self.deques
         victims = [
             w
-            for w in self.locality_workers[loc]
-            if w != worker and (self.deques[w][HIGH] or self.deques[w][LOW])
+            for w in self.locality_workers[self.worker_locality[worker]]
+            if w != worker and (deques[w][HIGH] or deques[w][LOW])
         ]
         if not victims:
             return None
-        v = self._rng.choice(victims)
+        victim = deques[self._rng.choice(victims)]
         self.steals += 1
-        for pr in (HIGH, LOW):
-            if self.deques[v][pr]:
-                return self.deques[v][pr].popleft()
-        return None  # pragma: no cover - victim drained between checks
+        # the victim was non-empty when scanned above; pop directly
+        return victim[HIGH].popleft() if victim[HIGH] else victim[LOW].popleft()
 
     def _go_idle(self, worker: int) -> None:
         if worker not in self._idle_set:
@@ -248,15 +251,25 @@ class Scheduler:
                 ctx.charge(task.op_class, task.cost if task.cost is not None else 0.0)
         self.tasks_run += 1
         cursor = t
-        for op_class, dt in ctx.charges:
-            self.tracer.record(worker, op_class, cursor, cursor + dt)
-            cursor += dt
+        if self.tracer.enabled:
+            record = self.tracer.record
+            for op_class, dt in ctx.charges:
+                record(worker, op_class, cursor, cursor + dt)
+                cursor += dt
+        else:
+            # same left-to-right accumulation (bit-identical clock),
+            # without a record() call per charge
+            for _, dt in ctx.charges:
+                cursor += dt
         self._push_event(cursor, "done", (worker, ctx))
 
     def _finish(self, data, t: float) -> None:
         worker, ctx = data
         for kind, payload in ctx.effects:
-            if kind == "spawn":
+            if kind == "lco_set":
+                lco, value = payload
+                lco._apply_set(value, t, self)
+            elif kind == "spawn":
                 task, locality = payload
                 self.enqueue(task, locality, t, worker_hint=worker)
             elif kind == "parcel":
@@ -274,9 +287,6 @@ class Scheduler:
                         "parcel",
                         parcel,
                     )
-            elif kind == "lco_set":
-                lco, value = payload
-                lco._apply_set(value, t, self)
             elif kind == "call":
                 payload(t)
         self.busy[worker] = False

@@ -134,6 +134,12 @@ class Kernel(ABC):
         """Row-wise L->T: point ``i`` evaluates its own coefficient row."""
         return (self.l2t_matrix(rel, scale) * coeffs_rows).sum(axis=1).real
 
+    def m2t_rows(
+        self, coeffs_rows: np.ndarray, rel: np.ndarray, scale: float
+    ) -> np.ndarray:
+        """Row-wise M->T: point ``i`` evaluates its own coefficient row."""
+        return (self.m2t_matrix(rel, scale) * coeffs_rows).sum(axis=1).real
+
     # -- gradients (forces) --------------------------------------------------
     def greens_gradient(self, d: np.ndarray) -> np.ndarray:
         """grad_target G for displacements ``d = target - source``;
@@ -205,6 +211,16 @@ class Kernel(ABC):
         raise NotImplementedError(f"{self.name} has no exponential representation")
 
     # -- operator-cache keying ----------------------------------------------
+    def param_key(self) -> tuple:
+        """Numeric kernel parameters the fitted operators depend on.
+
+        Part of the operator-cache signature (sharing and disk
+        persistence): kernels with constructor parameters that change
+        the expansions (e.g. a screening length) must return them here
+        unless :meth:`level_key` already folds them in.
+        """
+        return ()
+
     def level_key(self, scale: float):
         """Cache key component for fitted operators at a given box size.
 

@@ -33,11 +33,19 @@ relevant level):
 
 from __future__ import annotations
 
+import ast
+import json
+from pathlib import Path
+
 import numpy as np
 
 from repro.kernels.base import Kernel
 from repro.kernels.expo import frame, i2i_factor, p2w_matrix
 from repro.kernels.quadrature import build_quadrature
+
+#: bump when the fitting procedure or the on-disk layout changes; caches
+#: written with a different version are rejected on load
+CACHE_FORMAT_VERSION = 1
 
 _OCTANTS = [
     np.array([(0.5 if b else -0.5) / 2.0 for b in ((o >> 0) & 1, (o >> 1) & 1, (o >> 2) & 1)])
@@ -70,15 +78,107 @@ class OperatorFactory:
         each fit (more samples -> better conditioning, slower fits).
     seed:
         Seed of the sample generator; fits are deterministic given it.
+
+    Fitted operators are expensive (one ``lstsq`` each), so the cache
+    can be shared process-wide (:meth:`shared`) and persisted to disk
+    (:meth:`save`/:meth:`load`) as a versioned ``.npz`` keyed by the
+    full fit signature (kernel name + parameters, ``p``, ``eps``,
+    ``n_extra``, ``seed``).
     """
+
+    #: process-wide registry used by :meth:`shared`
+    _shared_instances: dict = {}
 
     def __init__(self, kernel: Kernel, eps: float = 1e-4, n_extra: int = 96, seed: int = 1234):
         self.kernel = kernel
         self.eps = eps
         self.n_extra = n_extra
         self.seed = seed
+        self.hits = 0
+        self.misses = 0
         self._cache: dict = {}
         self._quads: dict = {}
+
+    # -- sharing & persistence ------------------------------------------------
+    @classmethod
+    def shared(
+        cls, kernel: Kernel, eps: float = 1e-4, n_extra: int = 96, seed: int = 1234
+    ) -> "OperatorFactory":
+        """Process-wide factory for this fit signature.
+
+        Evaluators with equivalent kernels (same name, order and
+        parameters) get the same factory, so translation operators are
+        fitted at most once per process instead of once per evaluator.
+        """
+        key = (kernel.name, kernel.p, tuple(kernel.param_key()), eps, n_extra, seed)
+        fac = cls._shared_instances.get(key)
+        if fac is None:
+            fac = cls(kernel, eps=eps, n_extra=n_extra, seed=seed)
+            cls._shared_instances[key] = fac
+        return fac
+
+    def signature(self) -> dict:
+        """Everything the fitted operators depend on (cache identity)."""
+        return {
+            "format": CACHE_FORMAT_VERSION,
+            "kernel": self.kernel.name,
+            "p": self.kernel.p,
+            "params": [float(v) for v in self.kernel.param_key()],
+            "eps": float(self.eps),
+            "n_extra": int(self.n_extra),
+            "seed": int(self.seed),
+        }
+
+    def default_cache_path(self, directory) -> Path:
+        """Canonical ``.npz`` path for this signature under ``directory``."""
+        sig = self.signature()
+        params = "".join(f"_{v:g}" for v in sig["params"])
+        name = (
+            f"ops_{sig['kernel']}{params}_p{sig['p']}_eps{sig['eps']:g}"
+            f"_x{sig['n_extra']}_s{sig['seed']}_v{sig['format']}.npz"
+        )
+        return Path(directory) / name
+
+    def save(self, path=None, directory=None) -> Path:
+        """Persist every fitted operator to a versioned ``.npz``."""
+        if path is None:
+            path = self.default_cache_path(directory or ".")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {f"op::{key!r}": np.asarray(val) for key, val in self._cache.items()}
+        np.savez_compressed(
+            path, __signature__=np.array(json.dumps(self.signature())), **arrays
+        )
+        return path
+
+    def load(self, path=None, directory=None, strict: bool = True) -> bool:
+        """Load a cache written by :meth:`save`; returns True on success.
+
+        A cache whose signature (kernel, ``p``, ``eps``, ``n_extra``,
+        ``seed`` or format version) differs from this factory's is never
+        reused: ``strict=True`` raises, ``strict=False`` returns False.
+        """
+        if path is None:
+            path = self.default_cache_path(directory or ".")
+        path = Path(path)
+        if not path.exists():
+            if strict:
+                raise FileNotFoundError(path)
+            return False
+        with np.load(path, allow_pickle=False) as data:
+            sig = json.loads(str(data["__signature__"]))
+            if sig != self.signature():
+                if strict:
+                    raise ValueError(
+                        f"operator cache signature mismatch: file {sig}, "
+                        f"factory {self.signature()}"
+                    )
+                return False
+            for name in data.files:
+                if not name.startswith("op::"):
+                    continue
+                self._cache[ast.literal_eval(name[4:])] = data[name]
+        return True
 
     # -- sample helpers ------------------------------------------------------
     def _rng(self, tag: str) -> np.random.Generator:
@@ -105,57 +205,83 @@ class OperatorFactory:
         return self._quads[key]
 
     # -- fitted operators ------------------------------------------------------
+    def _lookup(self, key):
+        """Cache probe with hit/miss accounting (operators are never None)."""
+        op = self._cache.get(key)
+        if op is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return op
+
     def m2m(self, octant: int, child_scale: float) -> np.ndarray:
         """Child multipole (scale h) -> parent multipole (scale 2h)."""
         k = self.kernel
         key = ("m2m", octant, k.level_key(child_scale))
-        if key not in self._cache:
+        op = self._lookup(key)
+        if op is None:
             n = k.size + self.n_extra
             u = self._box_samples(n, f"m2m{octant}")
             off = octant_offset(octant)
             mi = k.p2m_matrix(u, child_scale)
             mo = k.p2m_matrix(off + u / 2.0, 2.0 * child_scale)
-            self._cache[key] = fit_linear_map(mi, mo)
-        return self._cache[key]
+            self._cache[key] = op = fit_linear_map(mi, mo)
+        return op
 
     def l2l(self, octant: int, parent_scale: float) -> np.ndarray:
         """Parent local (scale 2h) -> child local (scale h)."""
         k = self.kernel
         key = ("l2l", octant, k.level_key(parent_scale))
-        if key not in self._cache:
+        op = self._lookup(key)
+        if op is None:
             n = k.size + self.n_extra
             x = self._far_samples(n, f"l2l{octant}")
             off = octant_offset(octant)
             li = k.p2l_matrix(x, parent_scale)
             lo = k.p2l_matrix((x - off) * 2.0, parent_scale / 2.0)
-            self._cache[key] = fit_linear_map(li, lo)
-        return self._cache[key]
+            self._cache[key] = op = fit_linear_map(li, lo)
+        return op
 
     def m2l(self, delta: tuple[int, int, int], scale: float) -> np.ndarray:
         """Same-level source multipole -> target local, offset ``delta``."""
         k = self.kernel
         key = ("m2l", tuple(int(v) for v in delta), k.level_key(scale))
-        if key not in self._cache:
+        op = self._lookup(key)
+        if op is None:
             n = k.size + self.n_extra
             u = self._box_samples(n, f"m2l{delta}")
             d = np.asarray(delta, dtype=float)
             mi = k.p2m_matrix(u, scale)
             lo = k.p2l_matrix(u - d, scale)
-            self._cache[key] = fit_linear_map(mi, lo)
-        return self._cache[key]
+            self._cache[key] = op = fit_linear_map(mi, lo)
+        return op
 
     def m2i(self, direction: str, scale: float) -> np.ndarray:
         """Source multipole -> outgoing plane-wave amplitudes (M->I)."""
         k = self.kernel
         key = ("m2i", direction, k.level_key(scale))
-        if key not in self._cache:
+        op = self._lookup(key)
+        if op is None:
             quad = self.quadrature(scale)
             n = k.size + self.n_extra
             u = self._box_samples(n, f"m2i{direction}")
             mi = k.p2m_matrix(u, scale)
             wo = p2w_matrix(quad, direction, u, scale)
-            self._cache[key] = fit_linear_map(mi, wo)
-        return self._cache[key]
+            self._cache[key] = op = fit_linear_map(mi, wo)
+        return op
+
+    def m2i_stack(self, directions: tuple, scale: float) -> np.ndarray:
+        """Row-stacked M->I operators for several directions.
+
+        One ``(len(directions) * nterms, size)`` matrix so a node's
+        outgoing plane-wave amplitudes for all directions come from a
+        single matvec; rows split back per direction in caller order.
+        """
+        key = ("m2i_stack", tuple(directions), self.kernel.level_key(scale))
+        op = self._lookup(key)
+        if op is None:
+            self._cache[key] = op = np.vstack([self.m2i(d, scale) for d in directions])
+        return op
 
     def i2l(self, direction: str, scale: float) -> np.ndarray:
         """Incoming plane-wave amplitudes -> target local (I->L).
@@ -167,7 +293,8 @@ class OperatorFactory:
         """
         k = self.kernel
         key = ("i2l", direction, k.level_key(scale))
-        if key not in self._cache:
+        op = self._lookup(key)
+        if op is None:
             quad = self.quadrature(scale)
             n = quad.nterms + 2 * self.n_extra
             rng = self._rng(f"i2l{direction}")
@@ -186,8 +313,21 @@ class OperatorFactory:
             # p2w around the target center directly encodes both steps.
             vi = p2w_matrix(quad, direction, pts, scale)
             lo = k.p2l_matrix(pts, scale)
-            self._cache[key] = fit_linear_map(vi, lo)
-        return self._cache[key]
+            self._cache[key] = op = fit_linear_map(vi, lo)
+        return op
+
+    def i2l_stack(self, directions: tuple, scale: float) -> np.ndarray:
+        """Column-stacked I->L operators for several directions.
+
+        One ``(size, len(directions) * nterms)`` matrix so a node's
+        incoming plane-wave amplitudes for all directions collapse to a
+        local expansion in a single matvec (columns in caller order).
+        """
+        key = ("i2l_stack", tuple(directions), self.kernel.level_key(scale))
+        op = self._lookup(key)
+        if op is None:
+            self._cache[key] = op = np.hstack([self.i2l(d, scale) for d in directions])
+        return op
 
     def m2l_coarse(
         self, delta: np.ndarray, source_scale: float, target_scale: float
@@ -200,32 +340,55 @@ class OperatorFactory:
         """
         k = self.kernel
         ratio = target_scale / source_scale
+        # pure-Python floats keep the key repr()/literal_eval round-trippable
         key = (
             "m2lc",
-            tuple(np.round(np.asarray(delta, dtype=float), 9)),
+            tuple(round(float(v), 9) for v in np.asarray(delta, dtype=float)),
             round(ratio, 9),
             k.level_key(source_scale),
         )
-        if key not in self._cache:
+        op = self._lookup(key)
+        if op is None:
             n = k.size + self.n_extra
             u = self._box_samples(n, f"m2lc{key[1]}")
             d = np.asarray(delta, dtype=float)
             mi = k.p2m_matrix(u, source_scale)
             lo = k.p2l_matrix((u - d) / ratio, target_scale)
-            self._cache[key] = fit_linear_map(mi, lo)
-        return self._cache[key]
+            self._cache[key] = op = fit_linear_map(mi, lo)
+        return op
 
     def i2i(self, direction: str, delta, scale: float) -> np.ndarray:
         """Diagonal I->I translation factors for integer offset ``delta``."""
-        quad = self.quadrature(scale)
         key = ("i2i", direction, tuple(int(v) for v in delta), self.kernel.level_key(scale))
-        if key not in self._cache:
-            self._cache[key] = i2i_factor(quad, direction, np.asarray(delta, dtype=float))
-        return self._cache[key]
+        op = self._lookup(key)
+        if op is None:
+            quad = self.quadrature(scale)
+            self._cache[key] = op = i2i_factor(quad, direction, np.asarray(delta, dtype=float))
+        return op
+
+    def i2i_factors(self, direction: str, deltas: tuple, scale: float) -> np.ndarray:
+        """Row-stacked I->I factors for several offsets of one direction.
+
+        One ``(len(deltas), nterms)`` array so a node's outgoing
+        amplitudes translate to every receiving cone in a single
+        broadcast multiply (rows in caller order).
+        """
+        key = (
+            "i2i_factors",
+            direction,
+            tuple(tuple(int(v) for v in d) for d in deltas),
+            self.kernel.level_key(scale),
+        )
+        op = self._lookup(key)
+        if op is None:
+            self._cache[key] = op = np.stack(
+                [self.i2i(direction, d, scale) for d in deltas]
+            )
+        return op
 
     def cache_stats(self) -> dict[str, int]:
-        """Number of cached operators per type (for tests/diagnostics)."""
-        out: dict[str, int] = {}
+        """Cached-operator counts per type plus hit/miss counters."""
+        out: dict[str, int] = {"hits": self.hits, "misses": self.misses}
         for key in self._cache:
             out[key[0]] = out.get(key[0], 0) + 1
         return out

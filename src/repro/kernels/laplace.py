@@ -36,10 +36,11 @@ class LaplaceKernel(Kernel):
         return g
 
     def greens_gradient(self, d: np.ndarray) -> np.ndarray:
-        # grad_t 1/|d| = -d / |d|^3
+        # grad_t 1/|d| = -d / |d|^3; |d| = 0 maps to r = inf so the
+        # self-interaction gradient is exactly zero (d is the 0 vector)
         r = np.linalg.norm(d, axis=-1)
-        safe = np.where(r > 0, r, 1.0)
-        return -d / np.where(r > 0, safe, np.inf)[..., None] ** 3
+        safe = np.where(r > 0, r, np.inf)
+        return -d / safe[..., None] ** 3
 
     def p2m_matrix(self, rel: np.ndarray, scale: float) -> np.ndarray:
         rel = np.atleast_2d(rel)

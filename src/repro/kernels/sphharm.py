@@ -47,22 +47,25 @@ def assoc_legendre(p: int, x: np.ndarray) -> np.ndarray:
     ``[..., n, m]`` is ``P_n^m(x)`` (zero for m > n).
     """
     x = np.asarray(x, dtype=float)
-    out = np.zeros(x.shape + (p + 1, p + 1))
+    # build in (n, m, ...) layout so every recurrence store is one
+    # contiguous write of x.size values, then expose the documented
+    # x.shape + (p+1, p+1) axis order as a view
+    out = np.zeros((p + 1, p + 1) + x.shape)
     somx2 = np.sqrt(np.maximum(0.0, 1.0 - x * x))
     pmm = np.ones_like(x)
     for m in range(p + 1):
-        out[..., m, m] = pmm
+        out[m, m] = pmm
         if m < p:
             pm1 = x * (2 * m + 1) * pmm
-            out[..., m + 1, m] = pm1
+            out[m + 1, m] = pm1
             pold, pcur = pmm, pm1
             for n in range(m + 2, p + 1):
                 pnew = ((2 * n - 1) * x * pcur - (n + m - 1) * pold) / (n - m)
-                out[..., n, m] = pnew
+                out[n, m] = pnew
                 pold, pcur = pcur, pnew
         # seed for next m: P_{m+1}^{m+1} = -(2m+1) sqrt(1-x^2) P_m^m
         pmm = -(2 * m + 1) * somx2 * pmm
-    return out
+    return np.moveaxis(out, (0, 1), (-2, -1))
 
 
 def _ynm_norms(p: int) -> np.ndarray:
@@ -88,6 +91,8 @@ class Harmonics:
         # (-1)^m factor used to get negative-m values from conjugates:
         # Ynm(n,-m) = (-1)^m conj(Ynm(n,m)) with CS-phase Legendre.
         self.neg_phase = np.where(self.ms < 0, (-1.0) ** self.abs_ms, 1.0)
+        # fused per-index prefactor applied once in ynm()
+        self._scale = self.norms * self.neg_phase
 
     def ynm(self, xyz: np.ndarray) -> np.ndarray:
         """Normalized Y_n^m for each point; shape (N, (p+1)^2), complex.
@@ -102,18 +107,34 @@ class Harmonics:
         phi = np.arctan2(xyz[:, 1], xyz[:, 0])
         leg = assoc_legendre(self.p, ct)  # (N, p+1, p+1)
         pvals = leg[:, self.ns, self.abs_ms]  # (N, size)
-        phase = np.exp(1j * np.outer(phi, self.ms))
-        return self.norms * self.neg_phase * pvals * phase
+        # e^{i m phi} for m = -p..p by the multiplication recurrence:
+        # one complex exp of length N instead of one per (point, index)
+        p = self.p
+        cols = np.empty((len(phi), 2 * p + 1), dtype=complex)
+        cols[:, p] = 1.0
+        if p:
+            e = np.exp(1j * phi)
+            cur = e
+            cols[:, p + 1] = e
+            cols[:, p - 1] = e.conj()
+            for m in range(2, p + 1):
+                cur = cur * e
+                cols[:, p + m] = cur
+                cols[:, p - m] = cur.conj()
+        phase = cols[:, self.ms + p]  # fresh array: safe to reuse in place
+        phase *= pvals
+        phase *= self._scale
+        return phase
 
     def powers(self, rho: np.ndarray) -> np.ndarray:
         """rho**n for each flat index; shape (N, size)."""
         rho = np.asarray(rho, dtype=float)
-        logs = np.where(rho > 0, np.log(np.where(rho > 0, rho, 1.0)), -np.inf)
-        with np.errstate(invalid="ignore"):
-            out = np.exp(np.outer(logs, self.ns))
-        out[:, self.ns == 0] = 1.0
-        out[rho == 0.0, 1:] = 0.0
-        return out
+        # cumulative products: rho**n by n-1 multiplies, no log/exp
+        pw = np.empty((len(rho), self.p + 1))
+        pw[:, 0] = 1.0
+        for n in range(1, self.p + 1):
+            pw[:, n] = pw[:, n - 1] * rho
+        return pw[:, self.ns]
 
 
 def legendre_poly(p: int, x: np.ndarray) -> np.ndarray:

@@ -125,5 +125,8 @@ class YukawaKernel(Kernel):
         lam = np.asarray(lam, dtype=float)
         return lam / self.expo_t(lam, scale)
 
+    def param_key(self) -> tuple:
+        return (self.lam,)
+
     def level_key(self, scale: float):
         return round(float(self.lam * scale), 12)

@@ -83,7 +83,7 @@ class BarnesHutEvaluator:
         self.kernel = kernel
         self.threshold = threshold
         self.theta = theta
-        self.factory = factory or OperatorFactory(kernel)
+        self.factory = factory or OperatorFactory.shared(kernel)
         self.stats = BhStats()
 
     def evaluate(

@@ -65,7 +65,7 @@ class FmmEvaluator:
         self.kernel = kernel
         self.threshold = threshold
         self.advanced = advanced
-        self.factory = factory or OperatorFactory(kernel, eps=eps)
+        self.factory = factory or OperatorFactory.shared(kernel, eps=eps)
         self.stats = FmmStats()
 
     # -- public API ----------------------------------------------------------

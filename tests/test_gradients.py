@@ -40,6 +40,16 @@ def test_gradient_zero_at_coincident_point(laplace):
     assert np.isfinite(g).all()
 
 
+def test_greens_gradient_exactly_zero_at_origin(laplace):
+    """The r == 0 self-interaction row is exactly zero, not just finite."""
+    d = np.vstack([np.zeros(3), [0.3, -0.2, 0.1], np.zeros(3)])
+    g = laplace.greens_gradient(d)
+    assert np.array_equal(g[0], np.zeros(3))
+    assert np.array_equal(g[2], np.zeros(3))
+    r = np.linalg.norm(d[1])
+    assert np.allclose(g[1], -d[1] / r**3, rtol=1e-12)
+
+
 def test_default_radial_gradient_fallback():
     """A kernel that doesn't override greens_gradient still gets one."""
 

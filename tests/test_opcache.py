@@ -1,0 +1,72 @@
+"""Operator-cache sharing and disk persistence (OperatorFactory)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fitops import OperatorFactory
+from repro.kernels.laplace import LaplaceKernel
+
+
+@pytest.fixture
+def factory():
+    # small order keeps each lstsq fit cheap
+    return OperatorFactory(LaplaceKernel(4), eps=1e-3, n_extra=16, seed=11)
+
+
+def test_same_key_fitted_exactly_once(factory):
+    assert factory.cache_stats() == {"hits": 0, "misses": 0}
+    a = factory.m2m(5, 0.5)
+    stats = factory.cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    for _ in range(3):
+        assert factory.m2m(5, 0.5) is a
+    stats = factory.cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 3
+
+
+def test_shared_registry_returns_same_instance():
+    f1 = OperatorFactory.shared(LaplaceKernel(4), eps=1e-3)
+    f2 = OperatorFactory.shared(LaplaceKernel(4), eps=1e-3)
+    assert f1 is f2
+    # a different expansion order is a different fit signature
+    f3 = OperatorFactory.shared(LaplaceKernel(5), eps=1e-3)
+    assert f3 is not f1
+
+
+def test_disk_roundtrip_identical_without_refit(factory, tmp_path):
+    ref_m2m = factory.m2m(2, 0.5)
+    ref_m2l = factory.m2l((2, -1, 0), 0.5)
+    ref_i2i = factory.i2i("+z", (1, 0, 2), 0.5)
+    path = factory.save(directory=tmp_path)
+    assert path.exists()
+
+    fresh = OperatorFactory(LaplaceKernel(4), eps=1e-3, n_extra=16, seed=11)
+    assert fresh.load(directory=tmp_path)
+    misses_after_load = fresh.misses
+    np.testing.assert_array_equal(fresh.m2m(2, 0.5), ref_m2m)
+    np.testing.assert_array_equal(fresh.m2l((2, -1, 0), 0.5), ref_m2l)
+    np.testing.assert_array_equal(fresh.i2i("+z", (1, 0, 2), 0.5), ref_i2i)
+    # every probe above was a hit: nothing was refit
+    assert fresh.misses == misses_after_load
+    assert fresh.hits >= 3
+
+
+def test_signature_mismatch_rejected(factory, tmp_path):
+    factory.m2m(0, 0.5)
+    path = factory.save(directory=tmp_path)
+
+    other = OperatorFactory(LaplaceKernel(4), eps=1e-5, n_extra=16, seed=11)
+    with pytest.raises(ValueError, match="signature mismatch"):
+        other.load(path=path)
+    assert other.load(path=path, strict=False) is False
+    assert not other._cache
+
+    other_p = OperatorFactory(LaplaceKernel(6), eps=1e-3, n_extra=16, seed=11)
+    # the default path embeds the signature, so the file is not even found
+    assert other_p.load(directory=tmp_path, strict=False) is False
+    with pytest.raises(FileNotFoundError):
+        other_p.load(directory=tmp_path)
+
+
+def test_missing_file_nonstrict(factory, tmp_path):
+    assert factory.load(directory=tmp_path, strict=False) is False
