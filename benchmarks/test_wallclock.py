@@ -13,6 +13,12 @@ one-time cost the shared factory amortizes), then the two paths run
 interleaved and the minimum of N CPU-time samples is compared -
 ``time.process_time`` plus min-of-N is the most contention-robust
 estimator available on a shared box.
+
+A second section times the *setup phase* (tree carving, interaction
+lists, DAG assembly) with the vectorised array passes against the
+per-box reference loops, gated on the two producing structurally
+identical output, and appends its own record to the same trajectory
+file.
 """
 
 from __future__ import annotations
@@ -23,10 +29,12 @@ import time
 import numpy as np
 
 from benchmarks.conftest import RESULTS_DIR, write_report
+from repro.dashmm.dag import build_fmm_dag
 from repro.dashmm.evaluator import DashmmEvaluator
 from repro.hpx.runtime import RuntimeConfig
 from repro.kernels.laplace import LaplaceKernel
 from repro.tree.dualtree import build_dual_tree
+from repro.tree.lists import build_lists
 
 #: quickstart-sized workload (examples/quickstart.py)
 N = 4000
@@ -38,6 +46,10 @@ SAMPLES = 5
 #: trajectory) is ~1.9x on a contended single-core container and the
 #: design target is >=2x - see README "Performance"
 MIN_SPEEDUP = 1.3
+
+#: setup-phase floor: the vectorised passes must beat the per-box
+#: reference loops by at least this factor on the quickstart workload
+MIN_SETUP_SPEEDUP = 3.0
 
 
 def _problem():
@@ -125,4 +137,93 @@ def test_wallclock_batched_vs_per_edge():
     assert speedup >= MIN_SPEEDUP, (
         f"batched path only {speedup:.2f}x faster than per-edge "
         f"(floor {MIN_SPEEDUP}x); see benchmarks/results/BENCH_wallclock.json"
+    )
+
+
+def test_wallclock_setup_phase():
+    """Vectorised vs reference setup: tree carve, lists, DAG assembly."""
+    src, w, tgt = _problem()
+
+    def setup(vec: bool):
+        stages = {}
+        t0 = time.process_time()
+        dual = build_dual_tree(src, tgt, THRESHOLD, source_weights=w, vectorized=vec)
+        stages["tree"] = time.process_time() - t0
+        t0 = time.process_time()
+        lists = build_lists(dual, vectorized=vec)
+        stages["lists"] = time.process_time() - t0
+        t0 = time.process_time()
+        dag = build_fmm_dag(dual, lists, advanced=True, vectorized=vec)
+        stages["dag"] = time.process_time() - t0
+        return dual, lists, dag, stages
+
+    # correctness gate: identical structure before timing anything
+    dual_v, lists_v, dag_v, _ = setup(True)
+    dual_r, lists_r, dag_r, _ = setup(False)
+    assert len(dual_v.source.boxes) == len(dual_r.source.boxes)
+    assert len(dual_v.target.boxes) == len(dual_r.target.boxes)
+    for name in ("l1", "l2", "l3", "l4"):
+        assert getattr(lists_v, name) == getattr(lists_r, name), name
+    assert len(dag_v.nodes) == len(dag_r.nodes)
+    assert dag_v.n_edges == dag_r.n_edges
+    assert dag_v.out_edges == dag_r.out_edges
+
+    # the two setups must also drive the simulator to the same clock
+    ev = _evaluator(True, mode="phantom")
+    t_vec = ev.evaluate(src, w, tgt, dual=dual_v, lists=lists_v, dag=dag_v).time
+    t_ref = ev.evaluate(src, w, tgt, dual=dual_r, lists=lists_r, dag=dag_r).time
+    assert t_vec == t_ref, "setup path must not change the virtual clock"
+
+    vec_runs, ref_runs = [], []
+    for _ in range(SAMPLES):
+        *_, sv = setup(True)
+        vec_runs.append(sv)
+        *_, sr = setup(False)
+        ref_runs.append(sr)
+
+    def best(runs):
+        total = min(sum(s.values()) for s in runs)
+        per_stage = {k: min(s[k] for s in runs) for k in runs[0]}
+        return total, per_stage
+
+    vec_total, vec_stages = best(vec_runs)
+    ref_total, ref_stages = best(ref_runs)
+    speedup = ref_total / vec_total
+    record = {
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "section": "setup_phase",
+        "n": N,
+        "p": P,
+        "threshold": THRESHOLD,
+        "samples": SAMPLES,
+        "vectorized_s": round(vec_total, 4),
+        "reference_s": round(ref_total, 4),
+        "speedup": round(speedup, 3),
+        "vectorized_stages_s": {k: round(v, 4) for k, v in vec_stages.items()},
+        "reference_stages_s": {k: round(v, 4) for k, v in ref_stages.items()},
+        "virtual_time": t_vec,
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_wallclock.json"
+    trajectory = json.loads(path.read_text()) if path.exists() else []
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    write_report(
+        "wallclock_setup",
+        [
+            f"setup phase: n={N}, threshold={THRESHOLD}, min of {SAMPLES}",
+            f"vectorized: {vec_total:.3f} s  "
+            + " ".join(f"{k}={v:.3f}" for k, v in vec_stages.items()),
+            f"reference:  {ref_total:.3f} s  "
+            + " ".join(f"{k}={v:.3f}" for k, v in ref_stages.items()),
+            f"speedup: {speedup:.2f}x  (floor {MIN_SETUP_SPEEDUP}x)",
+            f"virtual time (identical both paths): {t_vec:.6f}",
+        ],
+    )
+
+    assert speedup >= MIN_SETUP_SPEEDUP, (
+        f"vectorized setup only {speedup:.2f}x faster than the reference "
+        f"loops (floor {MIN_SETUP_SPEEDUP}x); see BENCH_wallclock.json"
     )

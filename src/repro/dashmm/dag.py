@@ -11,6 +11,15 @@ expansion), ``Is`` (source-side intermediate expansion), ``It``
 (target leaf data).  Edge classes follow Table II, plus the basic-FMM
 and adaptive-list operators (M2L, M2T, S2L) the traced cube run happens
 not to exercise.
+
+Construction (Section IV stresses it must stay a negligible fraction of
+end-to-end time) has two interchangeable paths: the *vectorised*
+default derives every node table and edge endpoint array from the
+trees' columnar box tables (decoded coordinates, leaf masks, parent
+indices) with whole-array operations, then materialises the node/edge
+objects in one tight pass; the per-box *reference* loop is retained as
+the oracle.  Both paths emit identical node ids, edge order and aux
+payloads, so the simulated virtual clock does not depend on the choice.
 """
 
 from __future__ import annotations
@@ -20,13 +29,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kernels.expo import assign_direction
+from repro.kernels.expo import DIRECTIONS, assign_direction
 from repro.tree.dualtree import DualTree
-from repro.tree.lists import InteractionLists
+from repro.tree.lists import InteractionLists, list_pairs
 from repro.tree.morton import decode_morton
 
 NODE_KINDS = ("S", "M", "Is", "It", "L", "T")
 EDGE_OPS = ("S2T", "S2M", "M2M", "M2L", "M2I", "I2I", "I2L", "L2L", "L2T", "M2T", "S2L")
+
+#: direction labels indexed by 2*axis + (1 if the signed offset is
+#: non-positive), axis order z, x, y - mirrors assign_direction's
+#: tie-breaking exactly
+_DIR_LABELS = np.array(DIRECTIONS)
+
+
+def assign_direction_arrays(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`repro.kernels.expo.assign_direction`.
+
+    Returns an int code into ``DIRECTIONS`` (+z, -z, +x, -x, +y, -y);
+    ties between axes break in z, x, y order like the scalar version.
+    """
+    az, ax, ay = np.abs(dz), np.abs(dx), np.abs(dy)
+    use_z = (az >= ax) & (az >= ay)
+    use_x = ~use_z & (ax >= ay)
+    value = np.where(use_z, dz, np.where(use_x, dx, dy))
+    axis = np.where(use_z, 0, np.where(use_x, 1, 2))
+    return axis * 2 + (value <= 0)
 
 
 @dataclass
@@ -80,28 +108,34 @@ class DAG:
 
     # -- statistics (Tables I and II) -------------------------------------------
     def node_stats(self, size_model=None) -> dict[str, dict]:
-        """Per-kind count, size range and in/out-degree range (Table I)."""
+        """Per-kind count, size range and in/out-degree range (Table I).
+
+        Degree extrema are array reductions over the whole node table
+        rather than per-node Python scans.
+        """
+        n = len(self.nodes)
+        din = np.asarray(self.in_degree, dtype=np.int64)
+        dout = np.fromiter(
+            (len(e) for e in self.out_edges), dtype=np.int64, count=n
+        )
         by_kind: dict[str, list[DagNode]] = defaultdict(list)
-        for n in self.nodes:
-            by_kind[n.kind].append(n)
-        out_deg = [len(e) for e in self.out_edges]
+        for node in self.nodes:
+            by_kind[node.kind].append(node)
         stats = {}
         for kind in NODE_KINDS:
             ns = by_kind.get(kind, [])
             if not ns:
                 continue
-            ids = [n.id for n in ns]
-            din = [self.in_degree[i] for i in ids]
-            dout = [out_deg[i] for i in ids]
+            ids = np.fromiter((node.id for node in ns), dtype=np.int64, count=len(ns))
             entry = {
                 "count": len(ns),
-                "din_min": min(din),
-                "din_max": max(din),
-                "dout_min": min(dout),
-                "dout_max": max(dout),
+                "din_min": int(din[ids].min()),
+                "din_max": int(din[ids].max()),
+                "dout_min": int(dout[ids].min()),
+                "dout_max": int(dout[ids].max()),
             }
             if size_model is not None:
-                sizes = [size_model.node_bytes(kind, n_points=n.n_points) for n in ns]
+                sizes = [size_model.node_bytes(kind, n_points=node.n_points) for node in ns]
                 entry["size_min"] = min(sizes)
                 entry["size_max"] = max(sizes)
             stats[kind] = entry
@@ -175,8 +209,222 @@ def _dead_below_pruned(tree, pruned: set[int]) -> set[int]:
     return dead
 
 
-def build_fmm_dag(dual: DualTree, lists: InteractionLists, advanced: bool = True) -> DAG:
+def _dead_mask(tgt, pruned: set[int]) -> np.ndarray:
+    """Boolean per-box mask of targets strictly below a pruned box."""
+    ta = tgt.arrays
+    nb = len(tgt.boxes)
+    pruned_mask = np.zeros(nb, dtype=bool)
+    if pruned:
+        pruned_mask[np.fromiter(pruned, dtype=np.int64, count=len(pruned))] = True
+    dead = np.zeros(nb, dtype=bool)
+    for lvl in tgt.levels[1:]:
+        idx = np.asarray(lvl, dtype=np.int64)
+        p = ta.parent[idx]
+        dead[idx] = dead[p] | pruned_mask[p]
+    return dead
+
+
+# -- vectorised assembly helpers ------------------------------------------------
+def _batch_nodes(dag: DAG, kind: str, box_idx, levels, tree: str, n_points=None) -> int:
+    """Append one kind-block of nodes; returns the first node id."""
+    base = len(dag.nodes)
+    nodes = dag.nodes
+    out_edges = dag.out_edges
+    index = dag.index[kind]
+    bi = box_idx.tolist() if isinstance(box_idx, np.ndarray) else list(box_idx)
+    lv = levels.tolist() if isinstance(levels, np.ndarray) else list(levels)
+    npts = (
+        n_points.tolist()
+        if isinstance(n_points, np.ndarray)
+        else (n_points if n_points is not None else [0] * len(bi))
+    )
+    for b, l, p in zip(bi, lv, npts):
+        nid = len(nodes)
+        nodes.append(
+            DagNode(id=nid, kind=kind, box_index=b, level=l, tree=tree, n_points=p)
+        )
+        out_edges.append([])
+        index[b] = nid
+    return base
+
+
+def _batch_edges(dag: DAG, srcs, dsts, op: str, auxs=None) -> None:
+    """Materialise one operator class of edges from endpoint arrays."""
+    oe = dag.out_edges
+    srcs = srcs.tolist() if isinstance(srcs, np.ndarray) else srcs
+    dsts = dsts.tolist() if isinstance(dsts, np.ndarray) else dsts
+    if auxs is None:
+        for s, d in zip(srcs, dsts):
+            oe[s].append(Edge(src=s, dst=d, op=op))
+    else:
+        auxs = auxs.tolist() if isinstance(auxs, np.ndarray) else auxs
+        for s, d, a in zip(srcs, dsts, auxs):
+            oe[s].append(Edge(src=s, dst=d, op=op, aux=a))
+
+
+def _deltas(sa, ta, tis: np.ndarray, sis: np.ndarray):
+    dx = ta.ix[tis] - sa.ix[sis]
+    dy = ta.iy[tis] - sa.iy[sis]
+    dz = ta.iz[tis] - sa.iz[sis]
+    return dx, dy, dz
+
+
+def _delta_tuples(dx, dy, dz) -> list[tuple[int, int, int]]:
+    return list(zip(dx.tolist(), dy.tolist(), dz.tolist()))
+
+
+def build_fmm_dag(
+    dual: DualTree,
+    lists: InteractionLists,
+    advanced: bool = True,
+    vectorized: bool = True,
+) -> DAG:
     """Build the explicit FMM DAG (basic 8-operator or advanced 11-operator)."""
+    if vectorized:
+        return _build_fmm_dag_vectorized(dual, lists, advanced)
+    return _build_fmm_dag_reference(dual, lists, advanced)
+
+
+def _build_fmm_dag_vectorized(dual: DualTree, lists: InteractionLists, advanced: bool) -> DAG:
+    """Array-pass assembly: node tables and edge endpoint/aux arrays are
+    derived from the columnar box tables, then materialised in creation
+    order; ``in_degree`` is one bincount over the destination arrays."""
+    src, tgt = dual.source, dual.target
+    sa, ta = src.arrays, tgt.arrays
+    nsb, ntb = len(src.boxes), len(tgt.boxes)
+    dag = DAG()
+    dst_acc: list[np.ndarray] = []  # all edge destinations, for in_degree
+
+    dead = _dead_mask(tgt, lists.pruned)
+    pruned_mask = np.zeros(ntb, dtype=bool)
+    if lists.pruned:
+        pruned_mask[
+            np.fromiter(lists.pruned, dtype=np.int64, count=len(lists.pruned))
+        ] = True
+
+    # --- source side: M everywhere (node id == box index), S at leaves --------
+    _batch_nodes(dag, "M", np.arange(nsb, dtype=np.int64), sa.levels, "source")
+    s_boxes = np.flatnonzero(sa.leaf & (sa.counts > 0))
+    s_base = _batch_nodes(dag, "S", s_boxes, sa.levels[s_boxes], "source", sa.counts[s_boxes])
+    s_ids = np.arange(s_base, s_base + s_boxes.size, dtype=np.int64)
+    s_of = np.full(nsb, -1, dtype=np.int64)
+    s_of[s_boxes] = s_ids
+    _batch_edges(dag, s_ids, s_boxes, "S2M")
+    dst_acc.append(s_boxes)
+    kids = np.arange(1, nsb, dtype=np.int64)
+    m2m_dst = sa.parent[kids]
+    _batch_edges(dag, kids, m2m_dst, "M2M", auxs=sa.keys[kids] & 7)
+    dst_acc.append(m2m_dst)
+
+    # --- target side: L for live boxes at level >= 2, T at eval boxes ----------
+    l_boxes = np.flatnonzero(~dead & (ta.levels >= 2))
+    l_base = _batch_nodes(dag, "L", l_boxes, ta.levels[l_boxes], "target")
+    l_of = np.full(ntb, -1, dtype=np.int64)
+    l_of[l_boxes] = np.arange(l_base, l_base + l_boxes.size, dtype=np.int64)
+    t_boxes = np.flatnonzero(~dead & (ta.counts > 0) & (ta.leaf | pruned_mask))
+    t_base = _batch_nodes(dag, "T", t_boxes, ta.levels[t_boxes], "target", ta.counts[t_boxes])
+    t_of = np.full(ntb, -1, dtype=np.int64)
+    t_of[t_boxes] = np.arange(t_base, t_base + t_boxes.size, dtype=np.int64)
+    has_l = l_of[t_boxes] >= 0
+    l2t_dst = t_of[t_boxes[has_l]]
+    _batch_edges(dag, l_of[t_boxes[has_l]], l2t_dst, "L2T")
+    dst_acc.append(l2t_dst)
+    # L2L downward
+    ll = np.flatnonzero((l_of >= 0) & (ta.levels >= 3))
+    ll = ll[l_of[ta.parent[ll]] >= 0]
+    l2l_dst = l_of[ll]
+    _batch_edges(dag, l_of[ta.parent[ll]], l2l_dst, "L2L", auxs=ta.keys[ll] & 7)
+    dst_acc.append(l2l_dst)
+
+    # --- list 2 ------------------------------------------------------------------
+    ti2, si2 = list_pairs(lists.l2)
+    if ti2.size:
+        dx, dy, dz = _deltas(sa, ta, ti2, si2)
+        if advanced:
+            # It at each target-group start, Is at the first pair-scan
+            # occurrence of each source box (the reference's lazy order)
+            group_pos = np.flatnonzero(np.r_[True, ti2[1:] != ti2[:-1]])
+            uniq_si, first_pos = np.unique(si2, return_index=True)
+            ev_pos = np.concatenate([group_pos, first_pos])
+            ev_is = np.concatenate(
+                [np.zeros(group_pos.size, np.int64), np.ones(first_pos.size, np.int64)]
+            )
+            ev_box = np.concatenate([ti2[group_pos], uniq_si])
+            order = np.lexsort((ev_is, ev_pos))
+            it_of = np.full(ntb, -1, dtype=np.int64)
+            is_of = np.full(nsb, -1, dtype=np.int64)
+            nodes, oe = dag.nodes, dag.out_edges
+            it_index, is_index = dag.index["It"], dag.index["Is"]
+            i2l_src: list[int] = []
+            m2i_src: list[int] = []
+            m2i_dst: list[int] = []
+            t_levels = ta.levels
+            s_levels = sa.levels
+            for is_source, box in zip(ev_is[order].tolist(), ev_box[order].tolist()):
+                nid = len(nodes)
+                if is_source:
+                    nodes.append(
+                        DagNode(id=nid, kind="Is", box_index=box, level=int(s_levels[box]), tree="source")
+                    )
+                    oe.append([])
+                    is_index[box] = nid
+                    is_of[box] = nid
+                    m2i_src.append(box)
+                    m2i_dst.append(nid)
+                else:
+                    nodes.append(
+                        DagNode(id=nid, kind="It", box_index=box, level=int(t_levels[box]), tree="target")
+                    )
+                    oe.append([])
+                    it_index[box] = nid
+                    it_of[box] = nid
+                    i2l_src.append(nid)
+            i2l_dst = l_of[ti2[group_pos]]
+            _batch_edges(dag, i2l_src, i2l_dst, "I2L")
+            dst_acc.append(i2l_dst)
+            _batch_edges(dag, m2i_src, m2i_dst, "M2I")
+            dst_acc.append(np.asarray(m2i_dst, dtype=np.int64))
+            d_codes = assign_direction_arrays(dx, dy, dz)
+            auxs = list(zip(_DIR_LABELS[d_codes].tolist(), _delta_tuples(dx, dy, dz)))
+            i2i_dst = it_of[ti2]
+            _batch_edges(dag, is_of[si2], i2i_dst, "I2I", auxs=auxs)
+            dst_acc.append(i2i_dst)
+        else:
+            m2l_dst = l_of[ti2]
+            _batch_edges(dag, si2, m2l_dst, "M2L", auxs=_delta_tuples(dx, dy, dz))
+            dst_acc.append(m2l_dst)
+
+    # --- adaptive lists -------------------------------------------------------------
+    ti3, si3 = list_pairs(lists.l3)
+    if ti3.size:
+        keep = t_of[ti3] >= 0
+        m2t_dst = t_of[ti3[keep]]
+        _batch_edges(dag, si3[keep], m2t_dst, "M2T")
+        dst_acc.append(m2t_dst)
+    ti4, si4 = list_pairs(lists.l4)
+    if ti4.size:
+        keep = s_of[si4] >= 0
+        s2l_dst = l_of[ti4[keep]]
+        _batch_edges(dag, s_of[si4[keep]], s2l_dst, "S2L")
+        dst_acc.append(s2l_dst)
+    ti1, si1 = list_pairs(lists.l1)
+    if ti1.size:
+        keep = (t_of[ti1] >= 0) & (s_of[si1] >= 0)
+        s2t_dst = t_of[ti1[keep]]
+        _batch_edges(dag, s_of[si1[keep]], s2t_dst, "S2T")
+        dst_acc.append(s2t_dst)
+
+    n_nodes = len(dag.nodes)
+    if dst_acc:
+        all_dst = np.concatenate([np.asarray(d, dtype=np.int64) for d in dst_acc])
+        dag.in_degree = np.bincount(all_dst, minlength=n_nodes).tolist()
+    else:
+        dag.in_degree = [0] * n_nodes
+    return dag
+
+
+def _build_fmm_dag_reference(dual: DualTree, lists: InteractionLists, advanced: bool) -> DAG:
+    """Per-box reference assembly (the oracle loop path)."""
     src, tgt = dual.source, dual.target
     dag = DAG()
     dead = _dead_below_pruned(tgt, lists.pruned)
@@ -275,12 +523,73 @@ def build_fmm_dag(dual: DualTree, lists: InteractionLists, advanced: bool = True
     return dag
 
 
-def build_bh_dag(dual: DualTree, mac_pairs: dict[int, list[tuple[str, int]]]) -> DAG:
+def build_bh_dag(
+    dual: DualTree,
+    mac_pairs: dict[int, list[tuple[str, int]]],
+    vectorized: bool = True,
+) -> DAG:
     """Explicit DAG for Barnes-Hut.
 
     ``mac_pairs`` maps target leaf box index -> list of ("M2T"|"S2T",
     source box index) decisions from the MAC traversal.
     """
+    if vectorized:
+        return _build_bh_dag_vectorized(dual, mac_pairs)
+    return _build_bh_dag_reference(dual, mac_pairs)
+
+
+def _build_bh_dag_vectorized(dual: DualTree, mac_pairs: dict[int, list[tuple[str, int]]]) -> DAG:
+    src, tgt = dual.source, dual.target
+    sa, ta = src.arrays, tgt.arrays
+    nsb = len(src.boxes)
+    dag = DAG()
+    dst_acc: list[np.ndarray] = []
+
+    _batch_nodes(dag, "M", np.arange(nsb, dtype=np.int64), sa.levels, "source")
+    s_boxes = np.flatnonzero(sa.leaf & (sa.counts > 0))
+    s_base = _batch_nodes(dag, "S", s_boxes, sa.levels[s_boxes], "source", sa.counts[s_boxes])
+    s_of = np.full(nsb, -1, dtype=np.int64)
+    s_of[s_boxes] = np.arange(s_base, s_base + s_boxes.size, dtype=np.int64)
+    _batch_edges(dag, s_of[s_boxes], s_boxes, "S2M")
+    dst_acc.append(s_boxes)
+    kids = np.arange(1, nsb, dtype=np.int64)
+    m2m_dst = sa.parent[kids]
+    _batch_edges(dag, kids, m2m_dst, "M2M", auxs=sa.keys[kids] & 7)
+    dst_acc.append(m2m_dst)
+
+    # flatten the MAC decisions (dict order == target-leaf box order)
+    t_keys = np.fromiter(mac_pairs.keys(), dtype=np.int64, count=len(mac_pairs))
+    lens = np.fromiter(
+        (len(v) for v in mac_pairs.values()), dtype=np.int64, count=len(mac_pairs)
+    )
+    total = int(lens.sum())
+    flat_s = np.fromiter(
+        (si for ops in mac_pairs.values() for _, si in ops), dtype=np.int64, count=total
+    )
+    flat_m2t = np.fromiter(
+        (op == "M2T" for ops in mac_pairs.values() for op, _ in ops),
+        dtype=bool,
+        count=total,
+    )
+    t_base = _batch_nodes(dag, "T", t_keys, ta.levels[t_keys], "target", ta.counts[t_keys])
+    t_ids = np.arange(t_base, t_base + t_keys.size, dtype=np.int64)
+    flat_t = np.repeat(t_ids, lens)
+
+    m2t_dst = flat_t[flat_m2t]
+    _batch_edges(dag, flat_s[flat_m2t], m2t_dst, "M2T")
+    dst_acc.append(m2t_dst)
+    s2t_mask = ~flat_m2t & (s_of[flat_s] >= 0)
+    s2t_dst = flat_t[s2t_mask]
+    _batch_edges(dag, s_of[flat_s[s2t_mask]], s2t_dst, "S2T")
+    dst_acc.append(s2t_dst)
+
+    n_nodes = len(dag.nodes)
+    all_dst = np.concatenate(dst_acc) if dst_acc else np.empty(0, np.int64)
+    dag.in_degree = np.bincount(all_dst, minlength=n_nodes).tolist()
+    return dag
+
+
+def _build_bh_dag_reference(dual: DualTree, mac_pairs: dict[int, list[tuple[str, int]]]) -> DAG:
     src, tgt = dual.source, dual.target
     dag = DAG()
     for b in src.boxes:

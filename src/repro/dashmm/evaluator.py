@@ -73,6 +73,12 @@ class DashmmEvaluator:
         cost/communication only.
     theta:
         Barnes-Hut opening angle (ignored for FMM).
+    vectorized_setup:
+        Run the whole setup phase (tree carving, interaction lists, MAC
+        traversal, DAG assembly) through the array-based passes (the
+        default).  ``False`` selects the per-box reference loops; both
+        produce identical trees, lists and DAGs, hence identical virtual
+        clocks.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class DashmmEvaluator:
         theta: float = 0.5,
         eps: float = 1e-4,
         factory: OperatorFactory | None = None,
+        vectorized_setup: bool = True,
     ):
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}")
@@ -106,6 +113,7 @@ class DashmmEvaluator:
         self.sequential_edges = sequential_edges
         self.batch_edges = batch_edges
         self.theta = theta
+        self.vectorized_setup = vectorized_setup
         # the shared factory fits each translation operator at most once
         # per process, no matter how many evaluators are constructed
         self.factory = factory or (
@@ -118,11 +126,13 @@ class DashmmEvaluator:
         dual: DualTree,
         lists: InteractionLists | None = None,
     ) -> tuple[DAG, InteractionLists | None]:
+        vec = self.vectorized_setup
         if self.method == "bh":
-            return build_bh_dag(dual, mac_pairs(dual, self.theta)), None
+            pairs = mac_pairs(dual, self.theta, vectorized=vec)
+            return build_bh_dag(dual, pairs, vectorized=vec), None
         if lists is None:
-            lists = build_lists(dual)
-        dag = build_fmm_dag(dual, lists, advanced=(self.method == "fmm"))
+            lists = build_lists(dual, vectorized=vec)
+        dag = build_fmm_dag(dual, lists, advanced=(self.method == "fmm"), vectorized=vec)
         return dag, lists
 
     # -- evaluation ----------------------------------------------------------------
@@ -142,7 +152,11 @@ class DashmmEvaluator:
         """
         if dual is None:
             dual = build_dual_tree(
-                sources, targets, self.threshold, source_weights=weights
+                sources,
+                targets,
+                self.threshold,
+                source_weights=weights,
+                vectorized=self.vectorized_setup,
             )
         if dag is None:
             dag, lists = self.build_dag(dual, lists)

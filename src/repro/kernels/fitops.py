@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import ast
 import json
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -45,7 +46,7 @@ from repro.kernels.quadrature import build_quadrature
 
 #: bump when the fitting procedure or the on-disk layout changes; caches
 #: written with a different version are rejected on load
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 _OCTANTS = [
     np.array([(0.5 if b else -0.5) / 2.0 for b in ((o >> 0) & 1, (o >> 1) & 1, (o >> 2) & 1)])
@@ -182,7 +183,10 @@ class OperatorFactory:
 
     # -- sample helpers ------------------------------------------------------
     def _rng(self, tag: str) -> np.random.Generator:
-        return np.random.default_rng((self.seed, hash(tag) & 0xFFFFFFFF))
+        # crc32, not hash(): string hashing is randomized per process, which
+        # would make fitted operators (and persisted caches) irreproducible
+        # across runs
+        return np.random.default_rng((self.seed, zlib.crc32(tag.encode())))
 
     def _box_samples(self, n: int, tag: str) -> np.ndarray:
         return self._rng(tag).uniform(-0.5, 0.5, size=(n, 3))

@@ -20,6 +20,7 @@ import numpy as np
 from repro.kernels.base import Kernel
 from repro.kernels.fitops import OperatorFactory
 from repro.tree.dualtree import DualTree, build_dual_tree
+from repro.tree.lists import _ranges
 
 
 @dataclass
@@ -30,14 +31,27 @@ class BhStats:
         self.ops[op] += n
 
 
-def mac_pairs(dual: DualTree, theta: float) -> dict[int, list[tuple[str, int]]]:
+def mac_pairs(
+    dual: DualTree, theta: float, vectorized: bool = True
+) -> dict[int, list[tuple[str, int]]]:
     """MAC traversal decisions: target leaf index -> [(op, source box)].
 
     ``op`` is "M2T" when the source box passes the acceptance criterion
     (its multipole is evaluated at the leaf's points) and "S2T" when the
     traversal bottoms out in a direct interaction.  This is the explicit
     form of the Barnes-Hut DAG consumed by the DASHMM layer.
+
+    Both paths emit each target's ops sorted by source box index (the
+    decision *set* per target is traversal-order independent), so the
+    vectorised breadth-first descent and the reference depth-first stack
+    produce identical dictionaries.
     """
+    if vectorized:
+        return _mac_pairs_vectorized(dual, theta)
+    return _mac_pairs_reference(dual, theta)
+
+
+def _mac_pairs_reference(dual: DualTree, theta: float) -> dict[int, list[tuple[str, int]]]:
     src, tgt = dual.source, dual.target
     dom = dual.domain
     centers = np.array([dom.box_center(b.key) for b in src.boxes])
@@ -53,14 +67,72 @@ def mac_pairs(dual: DualTree, theta: float) -> dict[int, list[tuple[str, int]]]:
             si = stack.pop()
             s = src.boxes[si]
             h = dom.box_size(s.level)
-            dist = float(np.linalg.norm(centers[si] - tctr))
+            d = centers[si] - tctr
+            dd = d * d
+            dist = float(np.sqrt(dd[0] + dd[1] + dd[2]))
             if dist > 0 and h / max(dist - t_rad, 1e-300) < theta:
                 ops.append(("M2T", si))
             elif s.is_leaf:
                 ops.append(("S2T", si))
             else:
                 stack.extend(src.key_to_index[c] for c in s.children)
+        ops.sort(key=lambda p: p[1])
         out[t.index] = ops
+    return out
+
+
+def _mac_pairs_vectorized(dual: DualTree, theta: float) -> dict[int, list[tuple[str, int]]]:
+    """Level-synchronous MAC descent over flat (target, source) frontiers.
+
+    Identical float formulation to the reference (same elementwise
+    center/radius arithmetic and the same guarded division), so the
+    per-pair accept/recurse decisions agree bit for bit.
+    """
+    src, tgt = dual.source, dual.target
+    dom = dual.domain
+    sa, ta = src.arrays, tgt.arrays
+    t_sel = np.flatnonzero(ta.leaf & (ta.counts > 0))
+    out: dict[int, list[tuple[str, int]]] = {int(ti): [] for ti in t_sel}
+    if t_sel.size == 0 or not src.boxes:
+        return out
+    s_centers = dom.box_centers(sa.keys)
+    t_centers = dom.box_centers(ta.keys[t_sel])
+    s_h = dom.size / (1 << sa.levels).astype(float)
+    t_rad = (dom.size / (1 << ta.levels[t_sel]).astype(float)) * np.sqrt(3.0) / 2.0
+    T = np.arange(t_sel.size, dtype=np.int64)
+    S = np.zeros(t_sel.size, dtype=np.int64)
+    acc_t: list[np.ndarray] = []
+    acc_s: list[np.ndarray] = []
+    acc_m2t: list[np.ndarray] = []
+    while T.size:
+        diff = s_centers[S] - t_centers[T]
+        dd = diff * diff
+        dist = np.sqrt(dd[:, 0] + dd[:, 1] + dd[:, 2])
+        mac = (dist > 0) & (s_h[S] / np.maximum(dist - t_rad[T], 1e-300) < theta)
+        direct = ~mac & sa.leaf[S]
+        done = mac | direct
+        if done.any():
+            acc_t.append(T[done])
+            acc_s.append(S[done])
+            acc_m2t.append(mac[done])
+        expand = ~done
+        p_t, p_s = T[expand], S[expand]
+        cnt = sa.child_hi[p_s] - sa.child_lo[p_s]
+        S = _ranges(sa.child_lo[p_s], cnt)
+        T = np.repeat(p_t, cnt)
+    t_all = np.concatenate(acc_t)
+    s_all = np.concatenate(acc_s)
+    m2t_all = np.concatenate(acc_m2t)
+    order = np.lexsort((s_all, t_all))
+    t_all, s_all, m2t_all = t_all[order], s_all[order], m2t_all[order]
+    bounds = np.flatnonzero(np.r_[True, t_all[1:] != t_all[:-1]])
+    ends = np.append(bounds[1:], t_all.size)
+    for b, e in zip(bounds.tolist(), ends.tolist()):
+        ops = [
+            ("M2T" if m else "S2T", si)
+            for m, si in zip(m2t_all[b:e].tolist(), s_all[b:e].tolist())
+        ]
+        out[int(t_sel[t_all[b]])] = ops
     return out
 
 

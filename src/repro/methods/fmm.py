@@ -26,7 +26,7 @@ from repro.kernels.base import Kernel
 from repro.kernels.expo import DIRECTIONS, assign_direction
 from repro.kernels.fitops import OperatorFactory
 from repro.tree.dualtree import DualTree, build_dual_tree
-from repro.tree.lists import InteractionLists, build_lists
+from repro.tree.lists import InteractionLists, build_lists, list_pairs
 
 
 @dataclass
@@ -223,23 +223,41 @@ class FmmEvaluator:
 
     # -- list 2 ------------------------------------------------------------------
     def _pairs_by_level(self, dual, lists):
-        """list-2 (target box, source box) pairs grouped by level and delta."""
+        """list-2 (target box, source box) pairs grouped by level and delta.
+
+        Vectorised: per-pair deltas come from the trees' columnar
+        coordinate tables and grouping is one stable argsort over a
+        packed (level, delta) code.  Groups keep the first-appearance
+        order of the per-pair scan (and pairs within a group keep scan
+        order), so downstream accumulation order matches the old
+        per-pair loop bit for bit.
+        """
         out: dict[int, dict[tuple, tuple[list, list]]] = defaultdict(
             lambda: defaultdict(lambda: ([], []))
         )
-        src, tgt = dual.source, dual.target
-        for ti, sis in lists.l2.items():
-            t = tgt.boxes[ti]
-            from repro.tree.morton import decode_morton
-
-            _, tx, ty, tz = decode_morton(t.key)
-            for si in sis:
-                s = src.boxes[si]
-                _, sx, sy, sz = decode_morton(s.key)
-                delta = (tx - sx, ty - sy, tz - sz)
-                grp = out[t.level][delta]
-                grp[0].append(ti)
-                grp[1].append(si)
+        tis, sis = list_pairs(lists.l2)
+        if tis.size == 0:
+            return out
+        sa = dual.source.arrays
+        ta = dual.target.arrays
+        lvl = ta.levels[tis]
+        dx = ta.ix[tis] - sa.ix[sis]
+        dy = ta.iy[tis] - sa.iy[sis]
+        dz = ta.iz[tis] - sa.iz[sis]
+        # list-2 deltas are bounded by +/-3 per axis; 4 bits each suffice
+        pack = (((lvl << 4) | (dx + 8)) << 8) | ((dy + 8) << 4) | (dz + 8)
+        _, first, inv = np.unique(pack, return_index=True, return_inverse=True)
+        rank = first[inv]  # per pair: scan position where its group first appeared
+        order = np.argsort(rank, kind="stable")
+        ro = rank[order]
+        bounds = np.flatnonzero(np.r_[True, ro[1:] != ro[:-1]])
+        ends = np.append(bounds[1:], ro.size)
+        t_sorted, s_sorted = tis[order], sis[order]
+        lvl_s, dx_s, dy_s, dz_s = lvl[order], dx[order], dy[order], dz[order]
+        for b, e in zip(bounds.tolist(), ends.tolist()):
+            grp = out[int(lvl_s[b])][(int(dx_s[b]), int(dy_s[b]), int(dz_s[b]))]
+            grp[0].extend(t_sorted[b:e].tolist())
+            grp[1].extend(s_sorted[b:e].tolist())
         return out
 
     def _list2_basic(self, dual, lists, sc, tc, M, L) -> None:

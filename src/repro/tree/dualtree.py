@@ -7,6 +7,15 @@ refinement *threshold*; empty children are pruned.  The
 :class:`DualTree` pairs the source and target trees over the shared
 domain; the ensembles may be identical, partially overlapping, or
 disjoint.
+
+Two carving strategies produce bit-identical box tables:
+
+* the *vectorised* default discovers every level's boxes in a handful
+  of whole-array passes over the sorted deep keys (shifted-prefix run
+  detection plus ``searchsorted`` range splits), and
+* the *reference* loop refines one box at a time, exactly as the paper
+  describes the algorithm; it is retained as the oracle the vectorised
+  path is property-tested against.
 """
 
 from __future__ import annotations
@@ -16,12 +25,70 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.tree.box import Box, Domain
-from repro.tree.morton import MAX_LEVEL, encode_points
+from repro.tree.morton import MAX_LEVEL, decode_morton, encode_points
 
 #: Depth of the space-filling curve used for the one-time sort.  Boxes
 #: never refine past this level; duplicate points therefore cannot force
 #: unbounded recursion.
 DEEP_LEVEL = MAX_LEVEL
+
+
+@dataclass
+class TreeArrays:
+    """Columnar view of a tree's box table (one row per box).
+
+    Decoded lattice coordinates are computed once per tree, so setup
+    passes (adjacency, interaction lists, DAG assembly) never re-decode
+    Morton keys pairwise.  ``child_lo:child_hi`` is the contiguous box
+    table index range of a box's children (both builders append the
+    children of one box consecutively).
+    """
+
+    keys: np.ndarray  # int64 Morton keys
+    levels: np.ndarray  # int64 level per box
+    ix: np.ndarray  # int64 lattice coordinates
+    iy: np.ndarray
+    iz: np.ndarray
+    leaf: np.ndarray  # bool
+    parent: np.ndarray  # int64 parent box index, -1 for the root
+    counts: np.ndarray  # int64 points per box
+    starts: np.ndarray  # int64 point range per box
+    stops: np.ndarray
+    child_lo: np.ndarray  # int64 children index range [lo, hi)
+    child_hi: np.ndarray
+
+
+def _arrays_from_boxes(boxes: list[Box], key_to_index: dict[int, int]) -> TreeArrays:
+    nb = len(boxes)
+    keys = np.fromiter((b.key for b in boxes), dtype=np.int64, count=nb)
+    starts = np.fromiter((b.start for b in boxes), dtype=np.int64, count=nb)
+    stops = np.fromiter((b.stop for b in boxes), dtype=np.int64, count=nb)
+    parent = np.fromiter(
+        (-1 if b.parent is None else key_to_index[b.parent] for b in boxes),
+        dtype=np.int64,
+        count=nb,
+    )
+    child_lo = np.zeros(nb, dtype=np.int64)
+    child_hi = np.zeros(nb, dtype=np.int64)
+    for b in boxes:
+        if b.children:
+            child_lo[b.index] = key_to_index[b.children[0]]
+            child_hi[b.index] = key_to_index[b.children[-1]] + 1
+    levels, ix, iy, iz = decode_morton(keys)
+    return TreeArrays(
+        keys=keys,
+        levels=levels,
+        ix=ix,
+        iy=iy,
+        iz=iz,
+        leaf=child_lo == child_hi,
+        parent=parent,
+        counts=stops - starts,
+        starts=starts,
+        stops=stops,
+        child_lo=child_lo,
+        child_hi=child_hi,
+    )
 
 
 @dataclass
@@ -58,6 +125,8 @@ class Tree:
     key_to_index: dict[int, int]
     levels: list[list[int]] = field(default_factory=list)
     threshold: int = 0
+    _leaf_indices: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _arrays: TreeArrays | None = field(default=None, repr=False, compare=False)
 
     @property
     def depth(self) -> int:
@@ -68,8 +137,25 @@ class Tree:
         return len(self.points)
 
     @property
+    def leaf_indices(self) -> np.ndarray:
+        """Box table indices of the leaves, cached at first use."""
+        if self._leaf_indices is None:
+            self._leaf_indices = np.fromiter(
+                (b.index for b in self.boxes if b.is_leaf), dtype=np.int64
+            )
+        return self._leaf_indices
+
+    @property
     def leaves(self) -> list[Box]:
-        return [b for b in self.boxes if b.is_leaf]
+        boxes = self.boxes
+        return [boxes[i] for i in self.leaf_indices]
+
+    @property
+    def arrays(self) -> TreeArrays:
+        """Columnar box table with decoded coordinates, built once."""
+        if self._arrays is None:
+            self._arrays = _arrays_from_boxes(self.boxes, self.key_to_index)
+        return self._arrays
 
     def box(self, key: int) -> Box:
         return self.boxes[self.key_to_index[key]]
@@ -104,37 +190,15 @@ class DualTree:
     threshold: int
 
 
-def build_tree(
-    points: np.ndarray,
-    domain: Domain,
-    threshold: int,
-    weights: np.ndarray | None = None,
-) -> Tree:
-    """Build one adaptive octree.
+def _carve_reference(
+    deep_sorted: np.ndarray, n: int, threshold: int
+) -> tuple[list[Box], dict[int, int], list[list[int]]]:
+    """Per-box breadth-first refinement (the oracle loop path).
 
-    The points are sorted once by their level-``DEEP_LEVEL`` Morton key;
-    every box then owns a contiguous slice of the sorted order, and
-    child ranges are found with :func:`numpy.searchsorted` against key
-    prefixes, which keeps construction O(N log N) with vectorised
-    passes.
+    A box's deep keys lie in ``[key << 3*(D-l), (key+1) << 3*(D-l))``;
+    children are the nonempty subranges split at the eight child-prefix
+    boundaries.
     """
-    points = np.asarray(points, dtype=float)
-    if points.ndim != 2 or points.shape[1] != 3:
-        raise ValueError("points must have shape (N, 3)")
-    if threshold < 1:
-        raise ValueError("threshold must be >= 1")
-    n = len(points)
-    deep = encode_points(points, domain.origin, domain.size, DEEP_LEVEL)
-    perm = np.argsort(deep, kind="stable")
-    deep_sorted = deep[perm]
-    points_sorted = points[perm]
-    weights_sorted = None
-    if weights is not None:
-        weights = np.asarray(weights, dtype=float)
-        if weights.shape != (n,):
-            raise ValueError("weights must have shape (N,)")
-        weights_sorted = weights[perm]
-
     boxes: list[Box] = []
     key_to_index: dict[int, int] = {}
     levels: list[list[int]] = [[]]
@@ -144,9 +208,6 @@ def build_tree(
     key_to_index[1] = 0
     levels[0].append(0)
 
-    # Breadth-first refinement.  A box's deep keys lie in
-    # [key << 3*(D-l), (key+1) << 3*(D-l)); children are the nonempty
-    # subranges split at the eight child-prefix boundaries.
     frontier = [0]
     level = 0
     while frontier:
@@ -193,6 +254,124 @@ def build_tree(
         frontier = next_frontier
         level = child_level
 
+    return boxes, key_to_index, levels
+
+
+def _carve_vectorized(
+    deep_sorted: np.ndarray, n: int, threshold: int
+) -> tuple[list[Box], dict[int, int], list[list[int]]]:
+    """Whole-level box discovery from the sorted deep-key array.
+
+    Every box at level ``l`` is a maximal run of equal level-``l`` key
+    prefixes inside its parent's range.  One level is carved with three
+    array passes: a run-boundary scan of the shifted prefixes restricted
+    to the over-threshold parent ranges, a ``searchsorted`` to attribute
+    each run to its parent, and a clipped shift to find run stops.  The
+    resulting box table is bit-identical to :func:`_carve_reference`.
+    """
+    boxes = [Box(key=1, level=0, start=0, stop=n, parent=None, children=[], index=0)]
+    key_to_index: dict[int, int] = {1: 0}
+    levels: list[list[int]] = [[0]]
+
+    cur_starts = np.array([0], dtype=np.int64)
+    cur_stops = np.array([n], dtype=np.int64)
+    cur_index = np.array([0], dtype=np.int64)
+    level = 0
+    while cur_starts.size and level < DEEP_LEVEL:
+        child_level = level + 1
+        split = (cur_stops - cur_starts) > threshold
+        if not split.any():
+            break
+        starts_p = cur_starts[split]
+        stops_p = cur_stops[split]
+        index_p = cur_index[split]
+
+        # Level-(child_level) key of every point: deep key shifted so the
+        # marker bit lands at 3*child_level (exactly the box key).
+        prefix = deep_sorted >> np.int64(3 * (DEEP_LEVEL - child_level))
+
+        # Child boxes are runs of equal prefix inside split parents.
+        delta = np.zeros(n + 1, dtype=np.int64)
+        delta[starts_p] += 1
+        delta[stops_p] -= 1
+        in_split = np.cumsum(delta[:-1]) > 0
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(prefix[1:], prefix[:-1], out=change[1:])
+        run_starts = np.flatnonzero(change & in_split)
+        child_keys = prefix[run_starts]
+        owner = np.searchsorted(starts_p, run_starts, side="right") - 1
+        run_stops = np.minimum(
+            np.append(run_starts[1:], n), stops_p[owner]
+        )
+
+        base = len(boxes)
+        ck = child_keys.tolist()
+        lo = run_starts.tolist()
+        hi = run_stops.tolist()
+        pk = (child_keys >> 3).tolist()
+        for k, s, e, p in zip(ck, lo, hi, pk):
+            boxes.append(
+                Box(
+                    key=k,
+                    level=child_level,
+                    start=s,
+                    stop=e,
+                    parent=p,
+                    children=[],
+                    index=len(boxes),
+                )
+            )
+        key_to_index.update(zip(ck, range(base, base + len(ck))))
+        per_parent = np.bincount(owner, minlength=starts_p.size)
+        off = 0
+        for p_idx, c in zip(index_p.tolist(), per_parent.tolist()):
+            boxes[p_idx].children = ck[off : off + c]
+            off += c
+        levels.append(list(range(base, base + len(ck))))
+
+        cur_starts, cur_stops = run_starts, run_stops
+        cur_index = np.arange(base, base + len(ck), dtype=np.int64)
+        level = child_level
+
+    return boxes, key_to_index, levels
+
+
+def build_tree(
+    points: np.ndarray,
+    domain: Domain,
+    threshold: int,
+    weights: np.ndarray | None = None,
+    vectorized: bool = True,
+) -> Tree:
+    """Build one adaptive octree.
+
+    The points are sorted once by their level-``DEEP_LEVEL`` Morton key;
+    every box then owns a contiguous slice of the sorted order.  With
+    ``vectorized=True`` (the default) whole levels of boxes are carved
+    per array pass; ``vectorized=False`` runs the per-box reference
+    loop.  Both produce bit-identical trees.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("points must have shape (N, 3)")
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    n = len(points)
+    deep = encode_points(points, domain.origin, domain.size, DEEP_LEVEL)
+    perm = np.argsort(deep, kind="stable")
+    deep_sorted = deep[perm]
+    points_sorted = points[perm]
+    weights_sorted = None
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,):
+            raise ValueError("weights must have shape (N,)")
+        weights_sorted = weights[perm]
+
+    carve = _carve_vectorized if vectorized else _carve_reference
+    boxes, key_to_index, levels = carve(deep_sorted, n, threshold)
+
     return Tree(
         domain=domain,
         points=points_sorted,
@@ -210,9 +389,12 @@ def build_dual_tree(
     targets: np.ndarray,
     threshold: int,
     source_weights: np.ndarray | None = None,
+    vectorized: bool = True,
 ) -> DualTree:
     """Build the dual tree over the common domain of both ensembles."""
     domain = Domain.bounding(sources, targets)
-    src = build_tree(sources, domain, threshold, weights=source_weights)
-    tgt = build_tree(targets, domain, threshold)
+    src = build_tree(
+        sources, domain, threshold, weights=source_weights, vectorized=vectorized
+    )
+    tgt = build_tree(targets, domain, threshold, vectorized=vectorized)
     return DualTree(domain=domain, source=src, target=tgt, threshold=threshold)

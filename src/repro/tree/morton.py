@@ -13,6 +13,8 @@ accept numpy arrays throughout; levels up to 20 fit in an int64.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 #: Deepest level representable with the int64 keys used throughout.
@@ -78,6 +80,19 @@ def decode_morton(key):
     iy = _compact_bits(body >> np.uint64(1)).astype(np.int64)
     iz = _compact_bits(body >> np.uint64(2)).astype(np.int64)
     return level.astype(np.int64), ix, iy, iz
+
+
+@lru_cache(maxsize=1 << 18)
+def decode_morton_cached(key: int) -> tuple[int, int, int, int]:
+    """Memoized scalar :func:`decode_morton`.
+
+    Setup-phase code (adjacency tests, interaction-list descents) decodes
+    the same small set of box keys over and over; the cache turns the
+    repeated bit-twiddling into a dict hit.  Only scalar keys are
+    accepted - for whole-array decoding use :func:`decode_morton`, which
+    is vectorised.
+    """
+    return decode_morton(int(key))
 
 
 def morton_level(key):

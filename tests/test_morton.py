@@ -129,3 +129,39 @@ def test_parent_contains_child_lattice(level, data):
     pl, px, py, pz = decode_morton(morton_parent(key))
     assert pl == level - 1
     assert (px, py, pz) == (ix // 2, iy // 2, iz // 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=512))
+def test_roundtrip_int64_arrays(seed, n):
+    """decode_morton(encode_morton(...)) round-trips whole int64 arrays."""
+    rng = np.random.default_rng(seed)
+    level = int(rng.integers(0, MAX_LEVEL + 1))
+    side = 1 << level
+    ix = rng.integers(0, side, n)
+    iy = rng.integers(0, side, n)
+    iz = rng.integers(0, side, n)
+    keys = encode_morton(level, ix, iy, iz)
+    assert keys.dtype == np.int64
+    dl, dx, dy, dz = decode_morton(keys)
+    assert np.all(dl == level)
+    assert np.array_equal(dx, ix) and np.array_equal(dy, iy) and np.array_equal(dz, iz)
+
+
+def test_decode_morton_cached_matches_scalar():
+    from repro.tree.morton import decode_morton_cached
+
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        level = int(rng.integers(0, MAX_LEVEL + 1))
+        side = 1 << level
+        key = encode_morton(
+            level,
+            int(rng.integers(0, side)),
+            int(rng.integers(0, side)),
+            int(rng.integers(0, side)),
+        )
+        assert decode_morton_cached(key) == decode_morton(key)
+        # repeated lookups hit the memo and stay consistent
+        assert decode_morton_cached(key) == decode_morton_cached(key)
+    assert decode_morton_cached.cache_info().hits > 0
