@@ -1,5 +1,6 @@
 """Trace and scaling analysis: Eq. (1)-(2) utilization, speedups, critical path."""
 
+from repro.analysis.degradation import degradation_report, degradation_sweep
 from repro.analysis.utilization import (
     class_utilization,
     total_utilization,
@@ -14,6 +15,8 @@ from repro.analysis.parallelism import (
 )
 
 __all__ = [
+    "degradation_report",
+    "degradation_sweep",
     "total_utilization",
     "class_utilization",
     "underutilized_region",

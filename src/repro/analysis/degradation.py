@@ -1,0 +1,84 @@
+"""Fault-degradation accounting: what disruption costs, and what it doesn't.
+
+The reliable parcel transport (:mod:`repro.hpx.transport`) turns
+network faults from correctness failures into pure virtual-time
+overhead: results stay bit-identical to the fault-free run while
+retries, acks and backoff stretch the makespan.  This module condenses
+one faulty run (or a sweep of fault rates) against a fault-free
+baseline into a report of exactly that trade: added makespan vs.
+retries / duplicate suppressions / injected faults, plus an explicit
+bit-identity check of the potentials.
+
+Reports are plain dicts of scalars so they serialize straight to JSON
+(the CI degradation artifact) and feed the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+def _transport_stats(stats: dict) -> dict:
+    xp = stats.get("transport", {}) or {}
+    return {
+        "retries": int(xp.get("retries", 0)),
+        "acks_sent": int(xp.get("acks_sent", 0)),
+        "dups_suppressed": int(xp.get("dups_suppressed", 0)),
+        "stale_acks": int(xp.get("stale_acks", 0)),
+        "in_flight": int(xp.get("in_flight", 0)),
+    }
+
+
+def degradation_report(baseline, faulty) -> dict[str, Any]:
+    """Compare a faulty evaluation against its fault-free baseline.
+
+    Both arguments are :class:`~repro.dashmm.evaluator.EvaluationReport`
+    (or anything with ``.time``, ``.runtime_stats`` and
+    ``.potentials``).  Returns a JSON-ready dict with the makespans,
+    the fractional overhead, the transport/fault counters of the faulty
+    run, and whether the potentials are bit-identical.
+    """
+    t_base, t_faulty = float(baseline.time), float(faulty.time)
+    row: dict[str, Any] = {
+        "makespan_fault_free": t_base,
+        "makespan_faulty": t_faulty,
+        "makespan_overhead": (t_faulty - t_base) / t_base if t_base > 0 else 0.0,
+        "lco_dups_suppressed": int(
+            faulty.runtime_stats.get("lco_dups_suppressed", 0)
+        ),
+        "transport": _transport_stats(faulty.runtime_stats),
+        "network_faults": dict(faulty.runtime_stats.get("network_faults", {})),
+    }
+    a, b = baseline.potentials, faulty.potentials
+    if a is not None and b is not None:
+        row["bit_identical"] = bool(
+            a.shape == b.shape and np.array_equal(a, b)
+        )
+        row["max_abs_diff"] = float(np.max(np.abs(a - b))) if a.shape == b.shape else float("inf")
+    else:
+        row["bit_identical"] = None
+        row["max_abs_diff"] = None
+    return row
+
+
+def degradation_sweep(
+    run: Callable[[float], Any], rates: Sequence[float]
+) -> dict[str, Any]:
+    """Sweep fault rates against the ``rate == 0`` baseline.
+
+    ``run(rate)`` evaluates one configuration (rate is typically the
+    drop *and* duplicate probability of a
+    :class:`~repro.hpx.network.FaultyNetwork`) and returns an
+    evaluation report; ``run(0.0)`` must be the fault-free baseline.
+    Returns ``{"baseline_makespan": ..., "rows": [...]}``, one row per
+    rate (see :func:`degradation_report`), each tagged with its rate.
+    """
+    baseline = run(0.0)
+    rows = []
+    for rate in rates:
+        row = degradation_report(baseline, run(rate))
+        row["rate"] = float(rate)
+        rows.append(row)
+    return {"baseline_makespan": float(baseline.time), "rows": rows}

@@ -23,9 +23,23 @@ RUNTIME_CLASSES = ("_progress",)
 
 
 def _bin_intervals(t0: np.ndarray, t1: np.ndarray, edges: np.ndarray) -> np.ndarray:
-    """Total busy time per bin for a set of [t0, t1) intervals."""
+    """Total busy time per bin for a set of [t0, t1) intervals.
+
+    Interval endpoints are clipped to the binning window first: an
+    interval reaching past ``edges[-1]`` (or starting before
+    ``edges[0]``) only contributes the part inside the window.  The old
+    code clipped the *bin index* but added the full duration, so e.g. a
+    trace interval ending after ``total_time`` inflated the last bin
+    and utilization fractions could exceed 1.0.
+    """
     M = len(edges) - 1
     out = np.zeros(M)
+    t0 = np.clip(t0, edges[0], edges[-1])
+    t1 = np.clip(t1, edges[0], edges[-1])
+    keep = t1 > t0
+    t0, t1 = t0[keep], t1[keep]
+    if len(t0) == 0:
+        return out
     lo = np.clip(np.searchsorted(edges, t0, side="right") - 1, 0, M - 1)
     hi = np.clip(np.searchsorted(edges, t1, side="left") - 1, 0, M - 1)
     same = lo == hi

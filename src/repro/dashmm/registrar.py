@@ -117,13 +117,37 @@ class _LazyDown:
 #: marker types ignored by the reducers (values tracked registrar-side)
 _LAZY = (_LazyAmps, _LazyWave, _LazyLocal, _LazyDown)
 
+
+def _marker_order(m) -> tuple:
+    """Canonical sort key for a lazy marker.
+
+    Markers are appended in task-execution order, which varies with
+    network timing (and under fault injection, with the fault
+    schedule); every flush sorts them first so grouping and
+    accumulation order - hence the floating-point result - depend only
+    on the DAG.
+    """
+    e = m.edge
+    return (e.src, e.dst, repr(e.aux))
+
 #: canonical direction order for the padded full-width operator stacks
 _FULL_DIRS = tuple(sorted(("+z", "-z", "+x", "-x", "+y", "-y")))
 _DIR_IDX = {d: i for i, d in enumerate(_FULL_DIRS)}
 
 
 class ExpansionLCO(LCO):
-    """User-defined LCO: expansion data + DAG out-edge list (Fig. 2)."""
+    """User-defined LCO: expansion data + DAG out-edge list (Fig. 2).
+
+    Contributions are buffered as they arrive and folded *at trigger
+    time in canonical dedup-key order* (the key is the edge's position
+    in the DAG, see :meth:`Registrar._edge_key`).  Arrival order over a
+    network is timing- and fault-dependent; folding in key order makes
+    the floating-point reduction - and therefore the evaluation result
+    - bit-identical across schedules, which is what lets a faulty run
+    under the reliable transport reproduce the fault-free potentials
+    exactly.  Contributions without a key fold in arrival order, after
+    all keyed ones.
+    """
 
     def __init__(self, runtime, locality: int, node: DagNode, n_inputs: int, registrar):
         super().__init__(runtime, locality)
@@ -131,13 +155,31 @@ class ExpansionLCO(LCO):
         self.remaining = n_inputs
         self.registrar = registrar
         self.data = None
-        #: deferred leaf-output edges, in arrival order (T nodes only)
+        #: deferred leaf-output edges, in canonical fold order (T nodes)
         self.pending = None
+        self._inbox: list = []
+        self._unkeyed = 0
 
-    def _reduce(self, value) -> None:
+    def _fold(self, value, key) -> None:
         self.remaining -= 1
         if value is None:
             return
+        if key is None:
+            # sort unkeyed contributions after all DAG edges (node ids
+            # are >= 0), in arrival order
+            key = (1 << 60, self._unkeyed)
+            self._unkeyed += 1
+        self._inbox.append((key, value))
+
+    def _finalize(self) -> None:
+        inbox = self._inbox
+        inbox.sort(key=lambda kv: kv[0])
+        reduce = self._reduce
+        for _, value in inbox:
+            reduce(value)
+        self._inbox = []
+
+    def _reduce(self, value) -> None:
         if type(value) is _Deferred:
             if self.pending is None:
                 self.pending = []
@@ -219,6 +261,10 @@ class Registrar:
         self._lazy_i2l: list = []
         self._lazy_l2l: list = []
         self.lcos: dict[int, ExpansionLCO] = {}
+        #: node id -> {id(edge): position in its out-edge list}; edge
+        #: positions are both the parcel wire format and the per-LCO
+        #: dedup keys, so retried contributions fold exactly once
+        self._pos: dict[int, dict] = {}
         self.result = np.zeros(dual.target.n_points) if dual is not None else None
         self._centers = {
             "source": np.array([dual.domain.box_center(b.key) for b in dual.source.boxes]),
@@ -318,6 +364,18 @@ class Registrar:
                 self._deferred.extend(lco.pending)
                 lco.pending = None
 
+    def _pos_for(self, node_id: int) -> dict:
+        d = self._pos.get(node_id)
+        if d is None:
+            d = self._pos[node_id] = {
+                id(e): i for i, e in enumerate(self.dag.out_edges[node_id])
+            }
+        return d
+
+    def _edge_key(self, e) -> tuple:
+        """Canonical identity of one edge: (source node, out-list position)."""
+        return (e.src, self._pos_for(e.src)[id(e)])
+
     def _process_edges(self, ctx, node_id: int, edges) -> None:
         node = self.dag.nodes[node_id]
         all_edges = self.dag.out_edges[node_id]
@@ -345,7 +403,7 @@ class Registrar:
                         )
             elif self.coalesce:
                 if pos is None:
-                    pos = {id(e): i for i, e in enumerate(all_edges)}
+                    pos = self._pos_for(node_id)
                 data_bytes = self.sizes.payload_bytes(
                     group[0].op, n_src_points=node.n_points
                 )
@@ -363,7 +421,7 @@ class Registrar:
                 )
             else:
                 if pos is None:
-                    pos = {id(e): i for i, e in enumerate(all_edges)}
+                    pos = self._pos_for(node_id)
                 for e in group:
                     data_bytes = self.sizes.payload_bytes(e.op, n_src_points=node.n_points)
                     nb1 = self.sizes.parcel_bytes(data_bytes, 1)
@@ -468,7 +526,7 @@ class Registrar:
             h = self.dual.domain.box_size(src_node.level)
             acc = None
             data = self.lcos[e.src].data or {}
-            for d, V in data.items():
+            for d, V in sorted(data.items()):
                 c = self.factory.i2l(d, h) @ V
                 acc = c if acc is None else acc + c
             return acc if acc is not None else np.zeros(self.kernel.size, dtype=complex)
@@ -497,7 +555,7 @@ class Registrar:
     def _run_edge(self, ctx, e) -> None:
         self._charge_edge(ctx, e)
         value = self._edge_value(e) if self.mode == "numeric" else None
-        ctx.lco_set(self.lcos[e.dst], value)
+        ctx.lco_set(self.lcos[e.dst], value, key=self._edge_key(e), op_class=e.op)
 
     # -- batched fast path ----------------------------------------------------------------
     def _edge_value_fast(self, e):
@@ -550,6 +608,7 @@ class Registrar:
         negligible next to the saved memory traffic).
         """
         lazy, self._lazy_m2i = self._lazy_m2i, []
+        lazy.sort(key=_marker_order)
         nodes, lcos = self._nodes, self.lcos
         groups: dict[int, list] = {}
         for m in lazy:
@@ -571,6 +630,7 @@ class Registrar:
         per (direction, level) wave, then a segmented reduction into
         the per-direction accumulators of each target node."""
         lazy, self._lazy_i2i = self._lazy_i2i, []
+        lazy.sort(key=_marker_order)
         nodes, lcos = self._nodes, self.lcos
         groups: dict[tuple, list] = {}
         for m in lazy:
@@ -601,6 +661,7 @@ class Registrar:
         which contribute exactly nothing), accumulating each result into
         its target local expansion."""
         lazy, self._lazy_i2l = self._lazy_i2l, []
+        lazy.sort(key=_marker_order)
         nodes, lcos = self._nodes, self.lcos
         groups: dict[int, list] = {}
         for m in lazy:
@@ -629,6 +690,7 @@ class Registrar:
         octant operator run as one GEMM.
         """
         lazy, self._lazy_l2l = self._lazy_l2l, []
+        lazy.sort(key=_marker_order)
         nodes, lcos = self._nodes, self.lcos
         by_level: dict[int, dict] = {}
         for m in lazy:
@@ -761,8 +823,9 @@ class Registrar:
                 self._batch_values(key, group, values)
         lco_set = ctx.lco_set
         lcos = self.lcos
+        edge_key = self._edge_key
         for e in edges:
-            lco_set(lcos[e.dst], values[id(e)])
+            lco_set(lcos[e.dst], values[id(e)], key=edge_key(e), op_class=e.op)
 
     def _batch_values(self, key, group, values: dict) -> None:
         """Stacked numeric evaluation of one (op, operator-key) group.
@@ -817,6 +880,9 @@ class Registrar:
         dom = self.dual.domain
         tgt = self.dual.target
         res = self.result
+        # canonical order: the deferred list accumulates in T-continuation
+        # run order, which is timing/fault dependent
+        self._deferred.sort(key=lambda e: (e.src, e.dst, e.op))
         groups: dict[object, list] = {}
         for e in self._deferred:
             op = e.op

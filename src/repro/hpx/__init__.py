@@ -21,25 +21,32 @@ FMM-specific lives in :mod:`repro.dashmm`.
 """
 
 from repro.hpx.gas import GlobalAddress, GlobalAddressSpace
-from repro.hpx.lco import AndLCO, Future, LCO, ReductionLCO
-from repro.hpx.network import NetworkModel
+from repro.hpx.lco import AndLCO, Future, LCO, LCOError, ReductionLCO
+from repro.hpx.network import FaultyNetwork, InfiniteNetwork, NetworkModel
 from repro.hpx.parcel import Parcel
 from repro.hpx.runtime import Runtime, RuntimeConfig
 from repro.hpx.scheduler import Task
 from repro.hpx.tracing import TraceEvent, Tracer
+from repro.hpx.transport import DirectTransport, ReliableTransport, TransportError
 
 __all__ = [
     "GlobalAddress",
     "GlobalAddressSpace",
     "LCO",
+    "LCOError",
     "Future",
     "AndLCO",
     "ReductionLCO",
     "NetworkModel",
+    "InfiniteNetwork",
+    "FaultyNetwork",
     "Parcel",
     "Runtime",
     "RuntimeConfig",
     "Task",
     "Tracer",
     "TraceEvent",
+    "DirectTransport",
+    "ReliableTransport",
+    "TransportError",
 ]

@@ -25,14 +25,48 @@ from typing import Any, Callable
 from repro.hpx.scheduler import Task
 
 
+class LCOError(RuntimeError):
+    """Structured LCO failure: which LCO, where, and which contribution.
+
+    Replaces the bare ``RuntimeError`` the duplicate-set path used to
+    raise, so a fault-injection failure (duplicated parcel replaying an
+    edge with the reliable transport off) is diagnosable: the exception
+    carries the LCO class, its GAS address, the op class of the
+    offending contribution and its dedup key.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lco: "LCO | None" = None,
+        op_class: str | None = None,
+        key: Any = None,
+    ):
+        self.lco_class = type(lco).__name__ if lco is not None else None
+        self.addr = lco.addr if lco is not None else None
+        self.op_class = op_class
+        self.key = key
+        super().__init__(
+            f"{message} [lco={self.lco_class} addr={self.addr}"
+            f" op={op_class} key={key}]"
+        )
+
+
 class LCO:
     """Base LCO.  Subclasses override ``_reduce`` and ``_predicate``."""
+
+    #: when the scheduler runs with LCO dedup on (reliable transport),
+    #: a post-trigger set on a tolerant LCO is suppressed, not fatal -
+    #: single-assignment futures are naturally idempotent
+    tolerate_post_trigger = False
 
     def __init__(self, runtime, locality: int):
         self.runtime = runtime
         self.locality = locality
         self.triggered = False
         self._continuations: list[Task] = []
+        self._seen_keys: set | None = None
         self.addr = runtime.gas.alloc(locality, self)
 
     # -- protocol for subclasses ------------------------------------------------
@@ -42,13 +76,53 @@ class LCO:
     def _predicate(self) -> bool:
         raise NotImplementedError
 
-    # -- runtime-facing ---------------------------------------------------------
-    def _apply_set(self, value: Any, t: float, scheduler) -> None:
-        """Fold one input in at time ``t``; trigger if the predicate holds."""
-        if self.triggered:
-            raise RuntimeError("input arrived at an already-triggered LCO")
+    def _fold(self, value: Any, key: Any) -> None:
+        """Accept one input (default: immediate ``_reduce``)."""
         self._reduce(value)
+
+    def _finalize(self) -> None:
+        """Hook run once, just before the LCO triggers."""
+
+    # -- runtime-facing ---------------------------------------------------------
+    def _apply_set(
+        self, value: Any, t: float, scheduler, key: Any = None, op_class=None
+    ) -> None:
+        """Fold one input in at time ``t``; trigger if the predicate holds.
+
+        ``key`` identifies the logical contribution for dedup: a
+        repeated key is counted and suppressed when ``scheduler.lco_dedup``
+        is on (reliable transport - a retransmitted contribution must
+        fold exactly once) and raises a structured :class:`LCOError`
+        otherwise.
+        """
+        if key is not None:
+            seen = self._seen_keys
+            if seen is None:
+                seen = self._seen_keys = set()
+            if key in seen:
+                if scheduler.lco_dedup:
+                    scheduler.lco_dups_suppressed += 1
+                    return
+                raise LCOError(
+                    "duplicate contribution at LCO",
+                    lco=self,
+                    op_class=op_class,
+                    key=key,
+                )
+            seen.add(key)
+        if self.triggered:
+            if scheduler.lco_dedup and self.tolerate_post_trigger:
+                scheduler.lco_dups_suppressed += 1
+                return
+            raise LCOError(
+                "input arrived at an already-triggered LCO",
+                lco=self,
+                op_class=op_class,
+                key=key,
+            )
+        self._fold(value, key)
         if self._predicate():
+            self._finalize()
             self.triggered = True
             for task in self._continuations:
                 scheduler.enqueue(task, self.locality, t)
@@ -70,7 +144,14 @@ class LCO:
 
 
 class Future(LCO):
-    """Single-assignment LCO: triggers on its first (only) input."""
+    """Single-assignment LCO: triggers on its first (only) input.
+
+    Duplicate-set tolerant under a reliable transport: a retransmitted
+    reply re-setting an already-triggered future is suppressed (the
+    first value stands) instead of crashing the run.
+    """
+
+    tolerate_post_trigger = True
 
     def __init__(self, runtime, locality: int):
         super().__init__(runtime, locality)

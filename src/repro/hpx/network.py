@@ -14,10 +14,18 @@ serialization:
 Defaults are in the neighbourhood of Gemini-class hardware (~1.5 us
 latency, ~6 GB/s effective per-NIC bandwidth); they are knobs, not
 claims.
+
+:class:`FaultyNetwork` layers a seeded fault model on top: drop,
+duplicate, reorder (small delivery jitter) and long-delay
+probabilities, plus per-locality outage windows on the virtual clock.
+With the fire-and-forget transport these disruptions reach the
+application raw; with the reliable transport
+(:mod:`repro.hpx.transport`) they only cost virtual time.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 
@@ -28,7 +36,7 @@ class NetworkModel:
     latency: float = 1.5e-6  # seconds
     bandwidth: float = 6.0e9  # bytes / second
     per_parcel_overhead: float = 0.3e-6  # software send cost, seconds
-    _nic_free: dict[int, float] = field(default_factory=dict)
+    _nic_free: dict[int, float] = field(default_factory=dict, repr=False)
 
     def reset(self) -> None:
         self._nic_free.clear()
@@ -40,6 +48,20 @@ class NetworkModel:
         self._nic_free[src_locality] = start + inject
         return start + inject + self.latency
 
+    def delivery_times(
+        self, src_locality: int, dst_locality: int, t_send: float, size_bytes: int
+    ) -> list[float]:
+        """Arrival times of the copies of one send (faults may yield 0 or 2+).
+
+        The base model is perfectly reliable: exactly one copy, at
+        :meth:`deliver_time`.  Fault models override this.
+        """
+        return [self.deliver_time(src_locality, t_send, size_bytes)]
+
+    def fault_stats(self) -> dict:
+        """Counters of injected disruptions (empty for reliable models)."""
+        return {}
+
 
 @dataclass
 class InfiniteNetwork(NetworkModel):
@@ -50,3 +72,88 @@ class InfiniteNetwork(NetworkModel):
 
     def deliver_time(self, src_locality: int, t_send: float, size_bytes: int) -> float:
         return t_send
+
+
+@dataclass
+class FaultyNetwork(NetworkModel):
+    """Latency/bandwidth network that loses, clones, jitters and stalls.
+
+    Every remote send first pays the normal NIC/latency arithmetic
+    (:meth:`NetworkModel.deliver_time` - a lost packet still occupied
+    the injection pipeline), then a seeded RNG decides its fate:
+
+    * ``drop``       - probability the (sole) copy vanishes in flight;
+    * ``duplicate``  - probability a second copy is delivered, slightly
+      later than the first;
+    * ``reorder``    - probability a copy picks up uniform jitter of up
+      to ``reorder_jitter`` seconds, enough to overtake neighbours;
+    * ``delay``      - probability a copy stalls for up to
+      ``delay_time`` extra seconds (congestion / route flap scale);
+    * ``outages``    - ``(locality, t0, t1)`` windows on the virtual
+      clock during which everything to or from that locality is lost.
+
+    All draws come from one ``random.Random(seed)`` reseeded by
+    :meth:`reset`, so a fixed seed gives a bit-reproducible fault
+    schedule for a given send sequence.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    reorder_jitter: float = 5e-6
+    delay_time: float = 100e-6
+    seed: int = 0
+    #: per-locality blackout windows: (locality, t_start, t_end)
+    outages: tuple = ()
+    _rng: random.Random | None = field(default=None, repr=False)
+    _counts: dict = field(default_factory=dict, repr=False)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._counts = {
+            "dropped": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "delayed": 0,
+            "outage_dropped": 0,
+        }
+
+    def fault_stats(self) -> dict:
+        return dict(self._counts) if self._counts else {}
+
+    def _in_outage(self, locality: int, t: float) -> bool:
+        for loc, t0, t1 in self.outages:
+            if loc == locality and t0 <= t < t1:
+                return True
+        return False
+
+    def delivery_times(
+        self, src_locality: int, dst_locality: int, t_send: float, size_bytes: int
+    ) -> list[float]:
+        if self._rng is None:
+            self.reset()
+        base = self.deliver_time(src_locality, t_send, size_bytes)
+        counts = self._counts
+        if self._in_outage(src_locality, t_send) or self._in_outage(dst_locality, base):
+            counts["outage_dropped"] += 1
+            return []
+        rng = self._rng
+        if rng.random() < self.drop:
+            counts["dropped"] += 1
+            return []
+        times = [base]
+        if rng.random() < self.duplicate:
+            counts["duplicated"] += 1
+            times.append(base + rng.random() * self.reorder_jitter)
+        out = []
+        for t in times:
+            if self.reorder and rng.random() < self.reorder:
+                counts["reordered"] += 1
+                t += rng.random() * self.reorder_jitter
+            if self.delay and rng.random() < self.delay:
+                counts["delayed"] += 1
+                t += rng.random() * self.delay_time
+            out.append(t)
+        return out

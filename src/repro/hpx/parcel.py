@@ -38,6 +38,9 @@ class Parcel:
     priority: int = 1
     #: stamped by the scheduler at send time; None for externally injected
     origin: int | None = None
+    #: reliable-transport sequence id ``(src_locality, n)``; stamped by
+    #: :class:`repro.hpx.transport.ReliableTransport`, None otherwise
+    seq: tuple | None = None
 
     @property
     def target_locality(self) -> int:

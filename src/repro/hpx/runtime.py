@@ -8,6 +8,7 @@ actions, allocate LCOs, enqueue initial parcels/tasks, call
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -16,6 +17,7 @@ from repro.hpx.network import NetworkModel
 from repro.hpx.parcel import Parcel
 from repro.hpx.scheduler import Scheduler, Task
 from repro.hpx.tracing import Tracer
+from repro.hpx.transport import ReliableTransport
 
 
 @dataclass
@@ -27,6 +29,14 @@ class RuntimeConfig:
     it off.  ``progress_cost`` models the time HPX-5's network progress
     charges on the receiving locality per remote parcel - the paper
     attributes a small part of the utilization deficit to it.
+
+    ``reliable`` turns on the sequence-numbered, acknowledged,
+    retry-with-backoff parcel transport (see
+    :mod:`repro.hpx.transport`): required for correct execution over a
+    :class:`~repro.hpx.network.FaultyNetwork`, a no-op cost-wise over a
+    fault-free one except for ack traffic.  ``retry_timeout`` /
+    ``retry_backoff`` / ``retry_limit`` shape the retransmission
+    schedule; ``ack_bytes`` is the modelled wire size of an ack.
     """
 
     n_localities: int = 1
@@ -38,6 +48,11 @@ class RuntimeConfig:
     measure_costs: bool = False
     measure_scale: float = 1.0
     progress_cost: float = 0.5e-6
+    reliable: bool = False
+    retry_timeout: float = 50e-6
+    retry_backoff: float = 2.0
+    retry_limit: int = 10
+    ack_bytes: int = 32
 
     @property
     def total_cores(self) -> int:
@@ -51,11 +66,15 @@ class Runtime:
         self.config = config or RuntimeConfig()
         self.gas = GlobalAddressSpace(self.config.n_localities)
         self.tracer = Tracer(enabled=self.config.tracing)
-        self.config.network.reset()
+        # private copy of the network model: two runtimes built from one
+        # RuntimeConfig must not share NIC clocks (or fault RNG state) -
+        # resetting a live sibling's network mid-run corrupted both
+        self.network = copy.deepcopy(self.config.network)
+        self.network.reset()
         self.scheduler = Scheduler(
             n_localities=self.config.n_localities,
             workers_per_locality=self.config.workers_per_locality,
-            network=self.config.network,
+            network=self.network,
             tracer=self.tracer,
             priorities=self.config.priorities,
             steal_seed=self.config.steal_seed,
@@ -63,6 +82,15 @@ class Runtime:
             measure_scale=self.config.measure_scale,
         )
         self.scheduler.deliver_parcel = self._deliver
+        if self.config.reliable:
+            self.scheduler.transport = ReliableTransport(
+                self.scheduler,
+                timeout=self.config.retry_timeout,
+                backoff=self.config.retry_backoff,
+                retry_limit=self.config.retry_limit,
+                ack_bytes=self.config.ack_bytes,
+            )
+            self.scheduler.lco_dedup = True
         self._actions: dict[str, Callable] = {}
 
     # -- actions & parcels -------------------------------------------------------
@@ -178,11 +206,19 @@ class Runtime:
 
     def stats(self) -> dict:
         s = self.scheduler
-        return {
+        out = {
             "time": s.now,
             "tasks_run": s.tasks_run,
             "steals": s.steals,
             "parcels_sent": s.parcels_sent,
             "remote_bytes": s.remote_bytes,
             "cores": self.config.total_cores,
+            "lco_dups_suppressed": s.lco_dups_suppressed,
         }
+        transport = s.transport.stats()
+        if transport:
+            out["transport"] = transport
+        faults = self.network.fault_stats()
+        if faults:
+            out["network_faults"] = faults
+        return out

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.hpx.tracing import Tracer
+from repro.hpx.transport import DirectTransport
 
 HIGH = 0
 LOW = 1
@@ -84,9 +85,16 @@ class TaskContext:
     def send_parcel(self, parcel) -> None:
         self.effects.append(("parcel", parcel))
 
-    def lco_set(self, lco, value=None) -> None:
-        """Set an LCO input; the LCO must live on this locality."""
-        self.effects.append(("lco_set", (lco, value)))
+    def lco_set(self, lco, value=None, key=None, op_class=None) -> None:
+        """Set an LCO input; the LCO must live on this locality.
+
+        ``key`` is an optional per-LCO dedup key identifying the logical
+        contribution (e.g. a DAG edge): a repeated key is suppressed
+        when the runtime runs a reliable transport and rejected with a
+        structured :class:`~repro.hpx.lco.LCOError` otherwise.
+        ``op_class`` labels the contribution for diagnostics.
+        """
+        self.effects.append(("lco_set", (lco, value, key, op_class)))
 
     def call_at_completion(self, fn: Callable[[float], None]) -> None:
         """Run ``fn(t_end)`` when the task completes (bookkeeping hooks)."""
@@ -144,6 +152,12 @@ class Scheduler:
         self.remote_bytes = 0
         # set by the runtime so buffered parcel effects can be routed
         self.deliver_parcel: Callable | None = None
+        #: routes remote parcels; the runtime swaps in ReliableTransport
+        self.transport = DirectTransport(self)
+        #: when True (reliable transport), repeated LCO dedup keys are
+        #: suppressed and counted instead of raising LCOError
+        self.lco_dedup = False
+        self.lco_dups_suppressed = 0
 
     # -- public API -----------------------------------------------------------
     def enqueue(self, task: Task, locality: int, t: float, worker_hint: int | None = None) -> None:
@@ -180,15 +194,23 @@ class Scheduler:
             if until is not None and t > until:
                 self.now = until
                 break
-            self.now = t
             if kind == "pick":
+                self.now = t
                 try_pick(data, t)
             elif kind == "done":
+                self.now = t
                 finish(data, t)
             elif kind == "parcel":
                 if self.deliver_parcel is None:
                     raise RuntimeError("no parcel delivery handler installed")
+                self.now = t
                 self.deliver_parcel(data, t)
+            elif kind == "call":
+                # transport machinery (arrivals, acks, retry timers); a
+                # cancelled timer must not drag the clock forward
+                if not data.cancelled:
+                    self.now = t
+                    data.fn(t)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind}")
         return self.now
@@ -267,8 +289,8 @@ class Scheduler:
         worker, ctx = data
         for kind, payload in ctx.effects:
             if kind == "lco_set":
-                lco, value = payload
-                lco._apply_set(value, t, self)
+                lco, value, key, op_class = payload
+                lco._apply_set(value, t, self, key=key, op_class=op_class)
             elif kind == "spawn":
                 task, locality = payload
                 self.enqueue(task, locality, t, worker_hint=worker)
@@ -279,14 +301,11 @@ class Scheduler:
                 parcel.origin = src
                 dst = parcel.target_locality
                 if src == dst:
+                    # local sends are thread spawns; no network, no faults
                     self.post_parcel_arrival(parcel, t)
                 else:
                     self.remote_bytes += parcel.size_bytes
-                    self._push_event(
-                        self.network.deliver_time(src, t, parcel.size_bytes),
-                        "parcel",
-                        parcel,
-                    )
+                    self.transport.send(parcel, src, dst, t)
             elif kind == "call":
                 payload(t)
         self.busy[worker] = False

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hpx import AndLCO, Future, ReductionLCO, Runtime, RuntimeConfig
+from repro.hpx import AndLCO, Future, LCOError, ReductionLCO, Runtime, RuntimeConfig
 from repro.hpx.scheduler import Task
 
 
@@ -127,3 +127,84 @@ def test_chained_dataflow():
     t = rt.run()
     assert c.triggered
     assert t >= 3e-6  # three sequential microsecond tasks
+
+
+# -- structured errors and keyed dedup ----------------------------------------
+
+
+def test_double_set_raises_structured_lco_error():
+    """The old bare-RuntimeError path now carries LCO class and address."""
+    rt = _rt()
+    fut = Future(rt, 0)
+    _setter(rt, fut, 1)
+    _setter(rt, fut, 2)
+    with pytest.raises(LCOError) as ei:
+        rt.run()
+    err = ei.value
+    assert isinstance(err, RuntimeError)  # existing except-clauses still catch
+    assert err.lco_class == "Future"
+    assert err.addr == fut.addr
+    assert "Future" in str(err)
+
+
+def test_keyed_duplicate_raises_without_dedup():
+    rt = _rt()
+    lco = AndLCO(rt, 0, n_inputs=2)
+    for key in ("a", "a"):
+        rt.enqueue_task(
+            Task(
+                fn=lambda ctx, k=key: ctx.lco_set(lco, None, key=k, op_class="M2L"),
+                op_class="set",
+                cost=1e-6,
+            ),
+            0,
+        )
+    with pytest.raises(LCOError) as ei:
+        rt.run()
+    assert ei.value.key == "a"
+    assert ei.value.op_class == "M2L"
+    assert ei.value.lco_class == "AndLCO"
+
+
+def test_keyed_duplicate_suppressed_with_dedup():
+    """Under the reliable transport a retried contribution folds once."""
+    rt = _rt()
+    rt.scheduler.lco_dedup = True
+    lco = AndLCO(rt, 0, n_inputs=2)
+    seen = []
+    lco.on_trigger(lambda ctx: seen.append("done"))
+    for key in ("a", "a", "b"):
+        rt.enqueue_task(
+            Task(
+                fn=lambda ctx, k=key: ctx.lco_set(lco, None, key=k),
+                op_class="set",
+                cost=1e-6,
+            ),
+            0,
+        )
+    rt.run()
+    assert seen == ["done"]  # triggered exactly once, by the two distinct keys
+    assert rt.stats()["lco_dups_suppressed"] == 1
+
+
+def test_future_tolerates_post_trigger_set_under_dedup():
+    """Single-assignment futures are idempotent when dedup is on."""
+    rt = _rt()
+    rt.scheduler.lco_dedup = True
+    fut = Future(rt, 0)
+    _setter(rt, fut, "first")
+    _setter(rt, fut, "second")
+    rt.run()
+    assert fut.triggered
+    assert fut.value == "first"
+    assert rt.stats()["lco_dups_suppressed"] == 1
+
+
+def test_non_tolerant_lco_still_rejects_post_trigger_under_dedup():
+    rt = _rt()
+    rt.scheduler.lco_dedup = True
+    lco = AndLCO(rt, 0, n_inputs=1)
+    _setter(rt, lco)
+    _setter(rt, lco)  # unkeyed late input: a real protocol bug, not a retry
+    with pytest.raises(LCOError):
+        rt.run()

@@ -1,8 +1,8 @@
-"""Network model arithmetic: latency, bandwidth, NIC serialization."""
+"""Network model arithmetic: latency, bandwidth, NIC serialization, faults."""
 
 import pytest
 
-from repro.hpx.network import InfiniteNetwork, NetworkModel
+from repro.hpx.network import FaultyNetwork, InfiniteNetwork, NetworkModel
 
 
 def test_latency_plus_transfer():
@@ -51,3 +51,78 @@ def test_reset_clears_nic_state():
 def test_infinite_network_is_free():
     net = InfiniteNetwork()
     assert net.deliver_time(0, 3.5, 10**9) == 3.5
+
+
+def test_delivery_times_matches_deliver_time():
+    a = NetworkModel()
+    b = NetworkModel()
+    t = a.deliver_time(0, 0.0, 5000)
+    assert b.delivery_times(0, 1, 0.0, 5000) == [t]
+    assert b.fault_stats() == {}
+
+
+# -- fault injection ----------------------------------------------------------
+
+
+def test_faultless_faultynet_matches_base():
+    net = FaultyNetwork(seed=1)
+    ref = NetworkModel()
+    for i in range(5):
+        assert net.delivery_times(0, 1, 0.0, 1000) == ref.delivery_times(0, 1, 0.0, 1000)
+
+
+def test_drop_rate_statistics():
+    net = FaultyNetwork(drop=0.3, seed=7)
+    net.reset()
+    lost = sum(1 for _ in range(2000) if not net.delivery_times(0, 1, 0.0, 64))
+    assert 450 < lost < 750  # ~600 expected
+    assert net.fault_stats()["dropped"] == lost
+
+
+def test_duplicate_produces_two_copies():
+    net = FaultyNetwork(duplicate=1.0, seed=3)
+    times = net.delivery_times(0, 1, 0.0, 64)
+    assert len(times) == 2
+    assert times[1] >= times[0]
+    assert net.fault_stats()["duplicated"] == 1
+
+
+def test_reorder_adds_bounded_jitter():
+    net = FaultyNetwork(reorder=1.0, reorder_jitter=1e-6, seed=5)
+    base = NetworkModel().deliver_time(0, 0.0, 64)
+    (t,) = net.delivery_times(0, 1, 0.0, 64)
+    assert base <= t <= base + 1e-6
+    assert net.fault_stats()["reordered"] == 1
+
+
+def test_delay_can_exceed_jitter():
+    net = FaultyNetwork(delay=1.0, delay_time=1e-3, seed=11)
+    seen = [net.delivery_times(0, 1, 0.0, 64)[0] for _ in range(50)]
+    assert max(seen) > 1e-4  # some draw lands deep into the stall window
+    assert net.fault_stats()["delayed"] == 50
+
+
+def test_outage_window_drops_both_directions():
+    net = FaultyNetwork(outages=((1, 0.0, 1.0),), seed=0)
+    assert net.delivery_times(0, 1, 0.5, 64) == []  # into the dark locality
+    assert net.delivery_times(1, 0, 0.5, 64) == []  # out of it
+    assert net.delivery_times(0, 1, 2.0, 64) != []  # window over
+    assert net.fault_stats()["outage_dropped"] == 2
+
+
+def test_seeded_fault_schedule_reproducible():
+    def schedule():
+        net = FaultyNetwork(drop=0.2, duplicate=0.2, reorder=0.5, seed=99)
+        net.reset()
+        return [tuple(net.delivery_times(0, 1, i * 1e-5, 256)) for i in range(200)]
+
+    assert schedule() == schedule()
+
+
+def test_reset_reseeds_fault_rng():
+    net = FaultyNetwork(drop=0.5, seed=13)
+    net.reset()
+    a = [tuple(net.delivery_times(0, 1, 0.0, 64)) for _ in range(50)]
+    net.reset()
+    b = [tuple(net.delivery_times(0, 1, 0.0, 64)) for _ in range(50)]
+    assert a == b

@@ -98,3 +98,90 @@ def test_measured_costs_mode():
     rt.enqueue_task(Task(fn=spin, op_class="spin"), 0)
     t = rt.run()
     assert t > 0.0  # wall time was measured and applied to the clock
+
+
+def test_memget_remote_round_trip_pays_two_parcels():
+    """A remote get rides a request parcel out and a reply parcel home."""
+    cfg = RuntimeConfig(n_localities=2, workers_per_locality=1, progress_cost=0.0)
+    rt = Runtime(cfg)
+    box = rt.gas.alloc(1, "payload")
+    got, when = [], []
+
+    def starter(ctx):
+        ctx.charge("go", 1e-6)
+        fut = rt.memget(ctx, box, size_bytes=6000)
+        fut.on_trigger(lambda c: (got.append(fut.value), when.append(c.time)))
+
+    rt.enqueue_task(Task(fn=starter, op_class="go"), 0)
+    rt.run()
+    assert got == ["payload"]
+    # request: 64B out; reply: 6000B back.  Each leg pays overhead +
+    # transfer + latency, so the value cannot appear after one leg only.
+    one_way = 0.3e-6 + 6000 / 6.0e9 + 1.5e-6
+    assert when[0] >= 1e-6 + 2 * (0.3e-6 + 1.5e-6)
+    assert when[0] >= 1e-6 + one_way  # the data leg alone
+    assert rt.stats()["parcels_sent"] >= 2
+
+
+def test_memget_reply_lands_on_requesting_locality():
+    """_memget_reply resolves the future at its home, not the data's home."""
+    cfg = RuntimeConfig(n_localities=3, workers_per_locality=1, progress_cost=0.0)
+    rt = Runtime(cfg)
+    box = rt.gas.alloc(2, {"k": 7})
+    out = []
+
+    def starter(ctx):
+        ctx.charge("go", 1e-6)
+        fut = rt.memget(ctx, box)
+        assert fut.addr.locality == 0  # future lives with the requester
+        fut.on_trigger(lambda c: out.append((c.locality, fut.value)))
+
+    rt.enqueue_task(Task(fn=starter, op_class="go"), 0)
+    rt.run()
+    assert out == [(0, {"k": 7})]
+
+
+def test_memget_local_skips_network():
+    cfg = RuntimeConfig(n_localities=2, workers_per_locality=1, progress_cost=0.0)
+    rt = Runtime(cfg)
+    box = rt.gas.alloc(0, "near")
+    got = []
+
+    def starter(ctx):
+        ctx.charge("go", 1e-6)
+        fut = rt.memget(ctx, box)
+        fut.on_trigger(lambda c: got.append(fut.value))
+
+    rt.enqueue_task(Task(fn=starter, op_class="go"), 0)
+    rt.run()
+    assert got == ["near"]
+    assert rt.stats()["remote_bytes"] == 0
+
+
+def test_runtimes_from_shared_config_do_not_share_network():
+    """Two runtimes built from one config must not alias NIC state.
+
+    Before the fix, both runtimes mutated the config's NetworkModel, so
+    the second run inherited the first run's NIC busy-times (and a
+    shared FaultyNetwork RNG), breaking reproducibility.
+    """
+    cfg = RuntimeConfig(n_localities=2, workers_per_locality=1, progress_cost=0.0)
+
+    def ping_time():
+        rt = Runtime(cfg)
+        times = []
+
+        def sender(ctx):
+            ctx.charge("send", 1e-6)
+            ctx.send_parcel(
+                Parcel(action="recv", target=1, size_bytes=6_000_000, op_class="recv")
+            )
+
+        rt.register_action("recv", lambda ctx, t: times.append(ctx.time))
+        rt.enqueue_task(Task(fn=sender, op_class="send"), 0)
+        rt.run()
+        assert rt.network is not cfg.network
+        return times[0]
+
+    assert ping_time() == ping_time()  # identical, not serialized after the first
+    assert cfg.network._nic_free == {}  # the config's instance was never touched

@@ -101,3 +101,34 @@ def test_tracer_disabled():
     tr = Tracer(enabled=False)
     tr.record(0, "x", 0.0, 1.0)
     assert len(tr) == 0
+
+
+def test_bin_intervals_clips_overhanging_interval():
+    """Regression: an interval reaching past the window used to dump its
+    overhang into the last bin, pushing utilization above 1.0."""
+    edges = np.linspace(0, 1, 11)
+    out = _bin_intervals(np.array([0.95]), np.array([1.40]), edges)
+    assert out[-1] == pytest.approx(0.05)  # only the in-window part
+    assert out.sum() == pytest.approx(0.05)
+
+
+def test_bin_intervals_clips_before_window():
+    edges = np.linspace(0, 1, 11)
+    out = _bin_intervals(np.array([-0.30]), np.array([0.05]), edges)
+    assert out[0] == pytest.approx(0.05)
+    assert out.sum() == pytest.approx(0.05)
+
+
+def test_bin_intervals_drops_fully_outside():
+    edges = np.linspace(0, 1, 11)
+    out = _bin_intervals(np.array([1.5, -2.0]), np.array([2.5, -1.0]), edges)
+    assert np.allclose(out, 0.0)
+
+
+def test_utilization_capped_at_one_with_overhang():
+    """A busy interval outlasting total_time must not over-attribute."""
+    tr = Tracer()
+    tr.record(0, "work", 0.0, 1.3)  # runs past the 1.0s analysis window
+    fk = total_utilization(tr, n_workers=1, total_time=1.0, n_intervals=10)
+    assert np.allclose(fk, 1.0)
+    assert fk.max() <= 1.0 + 1e-12
