@@ -13,8 +13,12 @@ from repro.analysis.parallelism import (
     fanout_after_bottleneck,
     wavefront_profile,
 )
+from repro.analysis.schedules import SweepResult, SweepRow, fuzz_sweep
 
 __all__ = [
+    "fuzz_sweep",
+    "SweepResult",
+    "SweepRow",
     "degradation_report",
     "degradation_sweep",
     "total_utilization",

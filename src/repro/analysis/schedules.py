@@ -1,0 +1,133 @@
+"""Schedule-fuzz sweep analysis: certify schedule independence.
+
+The paper's central correctness claim is that the DAG execution is
+*schedule independent*: randomized work stealing, parcel coalescing and
+LCO dataflow may interleave work arbitrarily, yet potentials (and any
+other result folded in canonical order) must come out bit-identical.
+:func:`fuzz_sweep` operationalizes that claim as a measurement: run one
+workload under many fuzz seeds, compare every result against the
+deterministic baseline bit for bit, and aggregate the hazard reports -
+while also checking that the sweep actually *exercised* different
+schedules (distinct makespans / steal counts / decision traces), since
+a sweep that never perturbs anything certifies nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+
+@dataclass
+class SweepRow:
+    """One fuzzed run of the sweep."""
+
+    seed: int
+    bit_identical: bool
+    max_abs_diff: float
+    time: float
+    steals: int
+    hazards: dict[str, int] = field(default_factory=dict)
+    decisions: int = 0
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of a :func:`fuzz_sweep`.
+
+    ``all_bit_identical`` is the schedule-independence verdict;
+    ``distinct_makespans`` / ``distinct_steals`` measure how much
+    schedule diversity the sweep actually generated (both 1 would mean
+    the fuzzer changed nothing and the verdict is vacuous).
+    """
+
+    baseline_time: float
+    rows: list[SweepRow] = field(default_factory=list)
+
+    @property
+    def all_bit_identical(self) -> bool:
+        return all(r.bit_identical for r in self.rows)
+
+    @property
+    def distinct_makespans(self) -> int:
+        return len({r.time for r in self.rows} | {self.baseline_time})
+
+    @property
+    def distinct_steals(self) -> int:
+        return len({r.steals for r in self.rows})
+
+    @property
+    def hazard_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.rows:
+            for kind, n in r.hazards.items():
+                out[kind] = out.get(kind, 0) + n
+        return out
+
+    @property
+    def total_hazards(self) -> int:
+        return sum(self.hazard_counts.values())
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.rows)} fuzzed schedules: "
+            f"bit-identical={self.all_bit_identical} "
+            f"distinct makespans={self.distinct_makespans} "
+            f"distinct steal counts={self.distinct_steals} "
+            f"hazards={self.hazard_counts or 0}"
+        )
+
+
+def _run_stats(report) -> tuple[float, int, dict, int]:
+    stats = report.runtime_stats
+    trace = report.extras.get("schedule_trace")
+    return (
+        report.time,
+        stats.get("steals", 0),
+        stats.get("hazards", {}),
+        len(trace) if trace is not None else 0,
+    )
+
+
+def fuzz_sweep(
+    run: Callable[[int | None], Any],
+    seeds: Iterable[int],
+    baseline=None,
+) -> SweepResult:
+    """Sweep ``run`` over fuzz seeds and compare against the baseline.
+
+    ``run(seed)`` must perform one evaluation with
+    ``RuntimeConfig(fuzz_schedule=seed)`` (and ideally
+    ``detect_hazards=True``) and return an object exposing
+    ``.potentials``, ``.time``, ``.runtime_stats`` and ``.extras`` - an
+    :class:`repro.dashmm.evaluator.EvaluationReport` fits.  ``run(None)``
+    is called for the deterministic baseline unless one is passed in.
+    """
+    if baseline is None:
+        baseline = run(None)
+    base_pot = baseline.potentials
+    result = SweepResult(baseline_time=baseline.time)
+    for seed in seeds:
+        rep = run(seed)
+        t, steals, hazards, decisions = _run_stats(rep)
+        pot = rep.potentials
+        if base_pot is None or pot is None:
+            identical = base_pot is None and pot is None
+            diff = float("nan")
+        else:
+            identical = bool(np.array_equal(pot, base_pot))
+            diff = float(np.max(np.abs(pot - base_pot))) if pot.size else 0.0
+        result.rows.append(
+            SweepRow(
+                seed=seed,
+                bit_identical=identical,
+                max_abs_diff=diff,
+                time=t,
+                steals=steals,
+                hazards=dict(hazards),
+                decisions=decisions,
+            )
+        )
+    return result

@@ -185,6 +185,14 @@ class DashmmEvaluator:
             reg.flush_deferred()
             potentials = np.empty(dual.target.n_points)
             potentials[dual.target.perm] = reg.result
+        extras: dict[str, Any] = {
+            "untriggered": sum(1 for l in reg.lcos.values() if not l.triggered)
+        }
+        if runtime.hazard_detector is not None:
+            extras["hazards"] = runtime.hazards
+        trace = runtime.schedule_trace
+        if trace is not None:
+            extras["schedule_trace"] = trace
         return EvaluationReport(
             potentials=potentials,
             time=t,
@@ -193,5 +201,5 @@ class DashmmEvaluator:
             dag=dag,
             dual=dual,
             lists=lists,
-            extras={"untriggered": sum(1 for l in reg.lcos.values() if not l.triggered)},
+            extras=extras,
         )

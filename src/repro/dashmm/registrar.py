@@ -387,7 +387,16 @@ class Registrar:
         for e in edges:
             by_loc[nodes[e.dst].locality].append(e)
         here = ctx.locality
-        for loc, group in sorted(by_loc.items()):
+        # destination order is schedule freedom: parcels to different
+        # localities are unordered, so the fuzzer permutes the canonical
+        # sorted order (edges *within* one parcel keep their dedup-key
+        # fold order - reordering destinations must not change results)
+        locs = sorted(by_loc)
+        drv = self.runtime.scheduler.schedule_driver
+        if drv is not None and len(locs) > 1:
+            locs = drv.permute("coalesce", locs)
+        for loc in locs:
+            group = by_loc[loc]
             if loc == here:
                 if self.sequential_edges:
                     self._run_edges(ctx, group)

@@ -21,17 +21,27 @@ FMM-specific lives in :mod:`repro.dashmm`.
 """
 
 from repro.hpx.gas import GlobalAddress, GlobalAddressSpace
+from repro.hpx.hazards import HazardDetector, HazardReport, concurrent, happens_before
 from repro.hpx.lco import AndLCO, Future, LCO, LCOError, ReductionLCO
 from repro.hpx.network import FaultyNetwork, InfiniteNetwork, NetworkModel
 from repro.hpx.parcel import Parcel
 from repro.hpx.runtime import Runtime, RuntimeConfig
-from repro.hpx.scheduler import Task
-from repro.hpx.tracing import TraceEvent, Tracer
+from repro.hpx.scheduler import (
+    ReplayDivergence,
+    ScheduleFuzzer,
+    ScheduleReplayer,
+    Task,
+)
+from repro.hpx.tracing import ScheduleTrace, TraceEvent, Tracer
 from repro.hpx.transport import DirectTransport, ReliableTransport, TransportError
 
 __all__ = [
     "GlobalAddress",
     "GlobalAddressSpace",
+    "HazardDetector",
+    "HazardReport",
+    "happens_before",
+    "concurrent",
     "LCO",
     "LCOError",
     "Future",
@@ -44,6 +54,10 @@ __all__ = [
     "Runtime",
     "RuntimeConfig",
     "Task",
+    "ScheduleFuzzer",
+    "ScheduleReplayer",
+    "ScheduleTrace",
+    "ReplayDivergence",
     "Tracer",
     "TraceEvent",
     "DirectTransport",

@@ -32,7 +32,15 @@ class GlobalAddress:
 
 
 class GlobalAddressSpace:
-    """Statically partitioned GAS with per-locality heaps."""
+    """Statically partitioned GAS with per-locality heaps.
+
+    When a ``monitor`` (the happens-before hazard detector,
+    :mod:`repro.hpx.hazards`) is attached, every resolution is reported
+    as a read and every replacement as a write, so unsynchronized
+    accesses to one address - e.g. racing asynchronous ``memput`` s -
+    are flagged.  Allocation is not monitored: a fresh slot cannot
+    race.  With no monitor the hooks cost one attribute check.
+    """
 
     def __init__(self, n_localities: int):
         if n_localities < 1:
@@ -40,6 +48,8 @@ class GlobalAddressSpace:
         self.n_localities = n_localities
         self._heaps: list[dict[int, Any]] = [dict() for _ in range(n_localities)]
         self._next: list[int] = [0] * n_localities
+        #: optional access monitor with on_gas_read/on_gas_write hooks
+        self.monitor = None
 
     def alloc(self, locality: int, obj: Any = None) -> GlobalAddress:
         """Allocate a slot on ``locality`` holding ``obj``."""
@@ -65,12 +75,16 @@ class GlobalAddressSpace:
                 f"cannot translate {addr} at locality {at_locality}: "
                 "remote access must use parcels/memget"
             )
+        if self.monitor is not None:
+            self.monitor.on_gas_read(addr)
         return self._heaps[addr.locality][addr.slot]
 
     def put_local(self, addr: GlobalAddress, obj: Any, at_locality: int) -> None:
         """Replace the object at ``addr`` - home locality only."""
         if addr.locality != at_locality:
             raise ValueError(f"cannot put to {addr} from locality {at_locality}")
+        if self.monitor is not None:
+            self.monitor.on_gas_write(addr)
         self._heaps[addr.locality][addr.slot] = obj
 
     def free(self, addr: GlobalAddress) -> None:

@@ -61,6 +61,15 @@ class LCO:
     #: single-assignment futures are naturally idempotent
     tolerate_post_trigger = False
 
+    #: declares whether folding two inputs in either order yields the
+    #: same value.  The happens-before hazard detector
+    #: (:mod:`repro.hpx.hazards`) flags concurrent contributions to an
+    #: LCO whose fold is *not* commutative: their folded value would be
+    #: schedule-dependent.  Subclasses with order-sensitive reductions
+    #: must set this False (or take it as a constructor parameter, as
+    #: :class:`ReductionLCO` does).
+    fold_commutative = True
+
     def __init__(self, runtime, locality: int):
         self.runtime = runtime
         self.locality = locality
@@ -95,11 +104,14 @@ class LCO:
         fold exactly once) and raises a structured :class:`LCOError`
         otherwise.
         """
+        hz = scheduler.hazards
         if key is not None:
             seen = self._seen_keys
             if seen is None:
                 seen = self._seen_keys = set()
             if key in seen:
+                # a repeated dedup key is a transport-level duplicate
+                # (retransmission), not a logic bug - never a hazard
                 if scheduler.lco_dedup:
                     scheduler.lco_dups_suppressed += 1
                     return
@@ -111,6 +123,10 @@ class LCO:
                 )
             seen.add(key)
         if self.triggered:
+            if hz is not None:
+                # a *fresh* contribution after the trigger is a logic
+                # bug whether or not the runtime tolerates it below
+                hz.on_post_trigger_set(self, t, op_class=op_class, key=key)
             if scheduler.lco_dedup and self.tolerate_post_trigger:
                 scheduler.lco_dups_suppressed += 1
                 return
@@ -120,10 +136,17 @@ class LCO:
                 op_class=op_class,
                 key=key,
             )
+        if hz is not None:
+            hz.on_lco_set(self, t, op_class=op_class)
         self._fold(value, key)
         if self._predicate():
             self._finalize()
             self.triggered = True
+            if hz is not None:
+                hz.on_lco_trigger(self, t)
+                for task in self._continuations:
+                    if task.hb is None:
+                        task.hb = hz.continuation_event(self, task.op_class, t)
             for task in self._continuations:
                 scheduler.enqueue(task, self.locality, t)
             self._continuations.clear()
@@ -132,6 +155,9 @@ class LCO:
         """Attach a dependent task; runs at trigger (or now if triggered)."""
         if self.triggered:
             sched = self.runtime.scheduler
+            hz = sched.hazards
+            if hz is not None and task.hb is None:
+                task.hb = hz.continuation_event(self, task.op_class, sched.now)
             sched.enqueue(task, self.locality, sched.now)
         else:
             self._continuations.append(task)
@@ -183,15 +209,31 @@ class AndLCO(LCO):
 
 
 class ReductionLCO(LCO):
-    """Folds ``n_inputs`` values with ``op`` starting from ``init``."""
+    """Folds ``n_inputs`` values with ``op`` starting from ``init``.
 
-    def __init__(self, runtime, locality: int, n_inputs: int, op: Callable, init: Any):
+    ``commutative`` declares whether ``op`` is order-insensitive
+    (addition, max, ...); pass ``False`` for order-sensitive folds
+    (subtraction, concatenation, matrix products) so the hazard
+    detector can flag concurrent contributions, whose fold order - and
+    therefore the reduced value - would depend on the schedule.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        locality: int,
+        n_inputs: int,
+        op: Callable,
+        init: Any,
+        commutative: bool = True,
+    ):
         if n_inputs < 1:
             raise ValueError("ReductionLCO needs at least one input")
         super().__init__(runtime, locality)
         self.remaining = n_inputs
         self.op = op
         self.value = init
+        self.fold_commutative = commutative
 
     def _reduce(self, value: Any) -> None:
         self.value = self.op(self.value, value)

@@ -41,6 +41,10 @@ class Parcel:
     #: reliable-transport sequence id ``(src_locality, n)``; stamped by
     #: :class:`repro.hpx.transport.ReliableTransport`, None otherwise
     seq: tuple | None = None
+    #: happens-before event of the sending task (hazard detection);
+    #: shared by every delivered copy, so a retransmission carries the
+    #: same causal history as the original send
+    hb: object | None = None
 
     @property
     def target_locality(self) -> int:

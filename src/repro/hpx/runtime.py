@@ -13,10 +13,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.hpx.gas import GlobalAddressSpace
+from repro.hpx.hazards import HazardDetector
 from repro.hpx.network import NetworkModel
 from repro.hpx.parcel import Parcel
-from repro.hpx.scheduler import Scheduler, Task
-from repro.hpx.tracing import Tracer
+from repro.hpx.scheduler import ScheduleFuzzer, ScheduleReplayer, Scheduler, Task
+from repro.hpx.tracing import ScheduleTrace, Tracer
 from repro.hpx.transport import ReliableTransport
 
 
@@ -37,6 +38,25 @@ class RuntimeConfig:
     fault-free one except for ack traffic.  ``retry_timeout`` /
     ``retry_backoff`` / ``retry_limit`` shape the retransmission
     schedule; ``ack_bytes`` is the modelled wire size of an ack.
+
+    Concurrency-correctness tooling (all off by default, and with all
+    three off the schedule, virtual clock and results are bit-identical
+    to a build without the tooling):
+
+    * ``fuzz_schedule`` - seed for a dedicated schedule-fuzzing RNG
+      (:class:`~repro.hpx.scheduler.ScheduleFuzzer`).  Perturbs steal
+      victim selection, ready-queue tie-breaking at equal virtual
+      timestamps, idle-worker wakeup, task placement and parcel
+      coalescing order, driving one workload through a different legal
+      schedule per seed.  Every decision is recorded; the trace is
+      available as :attr:`Runtime.schedule_trace`.
+    * ``replay_schedule`` - a recorded
+      :class:`~repro.hpx.tracing.ScheduleTrace` (or a path to one saved
+      with ``trace.save(path)``) to replay decision for decision;
+      mutually exclusive with ``fuzz_schedule``.
+    * ``detect_hazards`` - install the happens-before hazard detector
+      (:mod:`repro.hpx.hazards`); reports are available as
+      :attr:`Runtime.hazards`.
     """
 
     n_localities: int = 1
@@ -53,6 +73,9 @@ class RuntimeConfig:
     retry_backoff: float = 2.0
     retry_limit: int = 10
     ack_bytes: int = 32
+    fuzz_schedule: int | None = None
+    replay_schedule: "ScheduleTrace | str | None" = None
+    detect_hazards: bool = False
 
     @property
     def total_cores(self) -> int:
@@ -91,6 +114,25 @@ class Runtime:
                 ack_bytes=self.config.ack_bytes,
             )
             self.scheduler.lco_dedup = True
+        if self.config.replay_schedule is not None:
+            if self.config.fuzz_schedule is not None:
+                raise ValueError(
+                    "fuzz_schedule and replay_schedule are mutually exclusive"
+                )
+            trace = self.config.replay_schedule
+            if not isinstance(trace, ScheduleTrace):
+                trace = ScheduleTrace.load(trace)
+            self.scheduler.schedule_driver = ScheduleReplayer(trace)
+        elif self.config.fuzz_schedule is not None:
+            self.scheduler.schedule_driver = ScheduleFuzzer(
+                self.config.fuzz_schedule
+            )
+        self.hazard_detector: HazardDetector | None = None
+        if self.config.detect_hazards:
+            self.hazard_detector = HazardDetector()
+            self.hazard_detector.scheduler = self.scheduler
+            self.scheduler.hazards = self.hazard_detector
+            self.gas.monitor = self.hazard_detector
         self._actions: dict[str, Callable] = {}
 
     # -- actions & parcels -------------------------------------------------------
@@ -117,6 +159,12 @@ class Runtime:
             op_class=parcel.op_class,
             priority=parcel.priority,
         )
+        hz = self.scheduler.hazards
+        if hz is not None and parcel.hb is not None:
+            # parcel send happens-before the thread it spawns; each
+            # delivered copy (faulty duplicates included) is its own
+            # event with the same cause
+            task.hb = hz.derive((parcel.hb,), label=f"parcel:{parcel.action}", t=t)
         self.scheduler.enqueue(task, parcel.target_locality, t)
 
     # -- asynchronous global memory access ------------------------------------------
@@ -197,12 +245,29 @@ class Runtime:
 
     def run(self, until: float | None = None) -> float:
         """Drive the simulation to quiescence; returns elapsed virtual time."""
-        return self.scheduler.run(until=until)
+        t = self.scheduler.run(until=until)
+        if self.hazard_detector is not None:
+            # post-run code (result gathers, test assertions) is
+            # ordered after every task - no false races against setup
+            self.hazard_detector.quiesce(t)
+        return t
 
     # -- introspection ---------------------------------------------------------------
     @property
     def now(self) -> float:
         return self.scheduler.now
+
+    @property
+    def schedule_trace(self) -> "ScheduleTrace | None":
+        """The schedule decision trace (fuzzed or replayed runs only)."""
+        drv = self.scheduler.schedule_driver
+        return drv.trace if drv is not None else None
+
+    @property
+    def hazards(self) -> list:
+        """Hazard reports collected so far (empty without the detector)."""
+        det = self.hazard_detector
+        return det.reports if det is not None else []
 
     def stats(self) -> dict:
         s = self.scheduler
@@ -221,4 +286,9 @@ class Runtime:
         faults = self.network.fault_stats()
         if faults:
             out["network_faults"] = faults
+        if self.hazard_detector is not None:
+            out["hazards"] = self.hazard_detector.counts()
+            out["hazard_reports"] = len(self.hazard_detector.reports)
+        if s.schedule_driver is not None:
+            out["schedule_decisions"] = len(s.schedule_driver.trace)
         return out

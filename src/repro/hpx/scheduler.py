@@ -24,21 +24,164 @@ enabled, each worker keeps a high- and a low-priority deque and always
 drains high first - this is exactly the "binary choice between low and
 high priority" extension the paper's Section VI proposes for HPX-5,
 off by default to match stock HPX-5.
+
+RNG streams & seed plumbing
+---------------------------
+Three independent seeded streams touch a run; they are never shared,
+so perturbing one cannot silently shift another:
+
+* the **steal RNG** - ``random.Random(steal_seed)``, owned by the
+  scheduler, consumed only for steal victim selection on the default
+  (unfuzzed) path;
+* the **fuzz RNG** - ``random.Random(fuzz_seed)`` inside a
+  :class:`ScheduleFuzzer` installed as ``schedule_driver`` by
+  ``RuntimeConfig(fuzz_schedule=seed)``.  When a driver is installed it
+  *replaces* the steal RNG at every decision point (the steal RNG is
+  not consumed at all), so fuzzed victim choices cannot advance or
+  alias the baseline stream;
+* the **fault RNG** - ``random.Random(seed)`` inside
+  :class:`~repro.hpx.network.FaultyNetwork`, reseeded by ``reset()``
+  per :class:`~repro.hpx.runtime.Runtime` (each runtime deep-copies
+  its network), never visible to the scheduler.
+
+Schedule fuzzing & deterministic replay
+---------------------------------------
+Every source of schedule freedom is funnelled through the installed
+``schedule_driver``: ready-queue tie-breaking at equal virtual
+timestamps (the second element of each heap entry), steal victim
+selection, idle-worker wakeup, task placement, and - via
+:mod:`repro.dashmm.registrar` - parcel coalescing order.  A
+:class:`ScheduleFuzzer` draws each decision from its dedicated RNG and
+appends it to a :class:`~repro.hpx.tracing.ScheduleTrace`; a
+:class:`ScheduleReplayer` feeds a recorded trace back, raising
+:class:`ReplayDivergence` on any mismatch.  With no driver installed
+the tie-break key is a constant zero and every choice follows the
+original deterministic rule, so the baseline schedule is bit-identical
+to a build without this machinery.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import random
+import time as _time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.hpx.tracing import Tracer
+from repro.hpx.tracing import ScheduleTrace, Tracer
 from repro.hpx.transport import DirectTransport
 
 HIGH = 0
 LOW = 1
+
+
+class ReplayDivergence(RuntimeError):
+    """A replayed run made a decision its trace does not contain.
+
+    Raised when the code under replay asks for a different decision
+    kind than the trace recorded next, offers an option set that does
+    not include the recorded choice, or outlives the trace.  Any of
+    these means the program (or its inputs) changed since the trace was
+    recorded - the trace is stale, not merely unlucky.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None,
+                 expected=None, got=None):
+        self.index = index
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"{message} [decision #{index} expected={expected!r} got={got!r}]"
+        )
+
+
+class ScheduleFuzzer:
+    """Draws schedule decisions from a dedicated seeded RNG, recording all.
+
+    One fuzzer drives one run; its :attr:`trace` is the complete,
+    replayable decision record (see
+    :class:`~repro.hpx.tracing.ScheduleTrace`).  The RNG is private to
+    the fuzzer - the scheduler's steal RNG and any fault RNG keep their
+    own streams untouched.
+    """
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(seed)
+        self.trace = ScheduleTrace(meta={"fuzz_seed": seed})
+
+    def tie(self) -> int:
+        """Tie-break key for one event push (reorders same-time events)."""
+        v = self._rng.getrandbits(20)
+        self.trace.decisions.append(["tie", v])
+        return v
+
+    def choose(self, kind: str, options: list) -> int:
+        """Pick one element of ``options`` (victim / wake / place)."""
+        v = options[self._rng.randrange(len(options))]
+        self.trace.decisions.append([kind, v])
+        return v
+
+    def permute(self, kind: str, seq: list) -> list:
+        """A random permutation of ``seq`` (parcel coalescing order)."""
+        out = list(seq)
+        self._rng.shuffle(out)
+        self.trace.decisions.append([kind, list(out)])
+        return out
+
+
+class ScheduleReplayer:
+    """Feeds a recorded :class:`~repro.hpx.tracing.ScheduleTrace` back.
+
+    Presents the same driver interface as :class:`ScheduleFuzzer` but
+    consumes decisions instead of drawing them, validating each against
+    the live option set so a stale trace fails loudly
+    (:class:`ReplayDivergence`) instead of silently diverging.
+    """
+
+    def __init__(self, trace: ScheduleTrace):
+        self.trace = trace
+        self._i = 0
+
+    def _next(self, kind: str):
+        i = self._i
+        if i >= len(self.trace.decisions):
+            raise ReplayDivergence(
+                "trace exhausted", index=i, expected=kind, got=None
+            )
+        rec_kind, value = self.trace.decisions[i]
+        if rec_kind != kind:
+            raise ReplayDivergence(
+                "decision kind mismatch", index=i, expected=rec_kind, got=kind
+            )
+        self._i = i + 1
+        return value
+
+    def tie(self) -> int:
+        return self._next("tie")
+
+    def choose(self, kind: str, options: list) -> int:
+        v = self._next(kind)
+        if v not in options:
+            raise ReplayDivergence(
+                "recorded choice not among live options",
+                index=self._i - 1, expected=v, got=list(options),
+            )
+        return v
+
+    def permute(self, kind: str, seq: list) -> list:
+        v = self._next(kind)
+        if sorted(v) != sorted(seq):
+            raise ReplayDivergence(
+                "recorded permutation does not match live key set",
+                index=self._i - 1, expected=v, got=list(seq),
+            )
+        return list(v)
+
+    @property
+    def consumed(self) -> int:
+        return self._i
 
 
 @dataclass
@@ -50,12 +193,16 @@ class Task:
     op_class: str = "task"
     cost: float | None = None
     priority: int = LOW
+    #: happens-before event assigned by the hazard detector at the
+    #: causal site (spawn, LCO trigger, parcel delivery); None when
+    #: detection is off or the task is an initial/root task
+    hb: Any = None
 
 
 class TaskContext:
     """Handed to every task body; collects charges and buffered effects."""
 
-    __slots__ = ("scheduler", "worker", "locality", "time", "charges", "effects")
+    __slots__ = ("scheduler", "worker", "locality", "time", "charges", "effects", "hb")
 
     def __init__(self, scheduler: "Scheduler", worker: int, time: float):
         self.scheduler = scheduler
@@ -64,6 +211,8 @@ class TaskContext:
         self.time = time
         self.charges: list[tuple[str, float]] = []
         self.effects: list[tuple[str, Any]] = []
+        #: the executing task's happens-before event (hazard detection)
+        self.hb: Any = None
 
     # -- cost accounting ----------------------------------------------------
     def charge(self, op_class: str, dt: float) -> None:
@@ -117,8 +266,6 @@ class Scheduler:
     ):
         if n_localities < 1 or workers_per_locality < 1:
             raise ValueError("need at least 1 locality and 1 worker")
-        import random
-
         self.n_localities = n_localities
         self.workers_per_locality = workers_per_locality
         self.n_workers = n_localities * workers_per_locality
@@ -158,20 +305,45 @@ class Scheduler:
         #: suppressed and counted instead of raising LCOError
         self.lco_dedup = False
         self.lco_dups_suppressed = 0
+        #: schedule-decision driver: None (deterministic baseline),
+        #: ScheduleFuzzer (perturb + record) or ScheduleReplayer
+        #: (consume a recorded trace); installed by the runtime
+        self.schedule_driver: ScheduleFuzzer | ScheduleReplayer | None = None
+        #: happens-before hazard detector (repro.hpx.hazards), or None
+        self.hazards = None
 
     # -- public API -----------------------------------------------------------
     def enqueue(self, task: Task, locality: int, t: float, worker_hint: int | None = None) -> None:
         """Make a task runnable on ``locality`` at time ``t``."""
         pr = task.priority if self.priorities else LOW
         idle = self._idle[locality]
-        while idle:
-            w = idle.popleft()
-            if w in self._idle_set:
+        drv = self.schedule_driver
+        if drv is not None and idle:
+            # fuzzed wakeup: any idle worker may win the fresh task, not
+            # just the longest-idle one (all are legal in real HPX-5)
+            live = [w for w in idle if w in self._idle_set]
+            idle.clear()
+            if live:
+                w = drv.choose("wake", live)
                 self._idle_set.discard(w)
+                for other in live:
+                    if other != w:
+                        idle.append(other)
                 self.deques[w][pr].append(task)
                 self._push_event(t, "pick", w)
                 return
-        if worker_hint is not None and self.worker_locality[worker_hint] == locality:
+        else:
+            while idle:
+                w = idle.popleft()
+                if w in self._idle_set:
+                    self._idle_set.discard(w)
+                    self.deques[w][pr].append(task)
+                    self._push_event(t, "pick", w)
+                    return
+        if drv is not None:
+            # fuzzed placement: ignore hint and round-robin position
+            w = drv.choose("place", self.locality_workers[locality])
+        elif worker_hint is not None and self.worker_locality[worker_hint] == locality:
             w = worker_hint
         else:
             w = self.locality_workers[locality][self._rr[locality] % self.workers_per_locality]
@@ -190,7 +362,7 @@ class Scheduler:
         try_pick = self._try_pick
         finish = self._finish
         while heap:
-            t, _, kind, data = heappop(heap)
+            t, _, _, kind, data = heappop(heap)
             if until is not None and t > until:
                 self.now = until
                 break
@@ -220,7 +392,15 @@ class Scheduler:
 
     # -- internals --------------------------------------------------------------
     def _push_event(self, t: float, kind: str, data) -> None:
-        heapq.heappush(self._heap, (t, next(self._seq), kind, data))
+        # heap entries are (t, tie, seq, kind, data): the tie key is a
+        # constant 0 on the deterministic path (so ordering degenerates
+        # to the monotonic seq, bit-identical to the pre-fuzz layout)
+        # and a driver-supplied jitter when fuzzing/replaying, which
+        # reorders events at equal virtual timestamps - all such
+        # orderings are legal schedules of logically concurrent events
+        drv = self.schedule_driver
+        tie = 0 if drv is None else drv.tie()
+        heapq.heappush(self._heap, (t, tie, next(self._seq), kind, data))
 
     def _try_pick(self, worker: int, t: float) -> None:
         if self.busy[worker]:
@@ -247,7 +427,15 @@ class Scheduler:
         ]
         if not victims:
             return None
-        victim = deques[self._rng.choice(victims)]
+        drv = self.schedule_driver
+        if drv is None:
+            chosen = self._rng.choice(victims)
+        else:
+            # fuzzed victim selection draws from the driver's stream;
+            # the steal RNG is deliberately not consumed (see module
+            # docstring on RNG stream separation)
+            chosen = drv.choose("victim", victims)
+        victim = deques[chosen]
         self.steals += 1
         # the victim was non-empty when scanned above; pop directly
         return victim[HIGH].popleft() if victim[HIGH] else victim[LOW].popleft()
@@ -260,9 +448,14 @@ class Scheduler:
     def _execute(self, worker: int, task: Task, t: float) -> None:
         self.busy[worker] = True
         ctx = TaskContext(self, worker, t)
+        hz = self.hazards
+        if hz is not None:
+            # the task's HB event was minted at its causal site (spawn /
+            # trigger / parcel); root tasks get one hanging off the
+            # bootstrap event here.  It is current for the body (GAS
+            # accesses) and re-installed at completion for the effects.
+            ctx.hb = hz.begin_task(task, t)
         if self.measure_costs:
-            import time as _time
-
             w0 = _time.perf_counter()
             task.fn(ctx, *task.args)
             elapsed = (_time.perf_counter() - w0) * self.measure_scale
@@ -271,6 +464,8 @@ class Scheduler:
             task.fn(ctx, *task.args)
             if not ctx.charges:
                 ctx.charge(task.op_class, task.cost if task.cost is not None else 0.0)
+        if hz is not None:
+            hz.end_task()
         self.tasks_run += 1
         cursor = t
         if self.tracer.enabled:
@@ -287,18 +482,30 @@ class Scheduler:
 
     def _finish(self, data, t: float) -> None:
         worker, ctx = data
+        hz = self.hazards
+        if hz is not None:
+            # effects are released now; they are caused by this task
+            hz.current = ctx.hb
         for kind, payload in ctx.effects:
             if kind == "lco_set":
                 lco, value, key, op_class = payload
                 lco._apply_set(value, t, self, key=key, op_class=op_class)
             elif kind == "spawn":
                 task, locality = payload
+                if hz is not None and task.hb is None:
+                    task.hb = hz.derive(
+                        (ctx.hb,), label=f"spawn:{task.op_class}", t=t
+                    )
                 self.enqueue(task, locality, t, worker_hint=worker)
             elif kind == "parcel":
                 parcel = payload
                 self.parcels_sent += 1
                 src = self.worker_locality[worker]
                 parcel.origin = src
+                if hz is not None and parcel.hb is None:
+                    # the send event; every delivered copy (including
+                    # retransmissions) is caused by it
+                    parcel.hb = ctx.hb
                 dst = parcel.target_locality
                 if src == dst:
                     # local sends are thread spawns; no network, no faults
@@ -308,5 +515,7 @@ class Scheduler:
                     self.transport.send(parcel, src, dst, t)
             elif kind == "call":
                 payload(t)
+        if hz is not None:
+            hz.current = None
         self.busy[worker] = False
         self._try_pick(worker, t)

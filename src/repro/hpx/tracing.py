@@ -8,11 +8,21 @@ operation segment: ``(worker, op_class, t_start, t_end)``.
 
 Intervals accumulate in plain lists and are exported as numpy arrays on
 demand; for large runs :meth:`Tracer.utilization` bins on the fly.
+
+Besides busy intervals this module also defines the *schedule decision
+trace* (:class:`ScheduleTrace`): the flat, replayable record of every
+nondeterministic scheduling choice a fuzzed run made - ready-queue
+tie-breaks, steal victim selection, idle-worker wakeups, task placement
+and parcel coalescing order.  Feeding a saved trace back through
+``RuntimeConfig(replay_schedule=...)`` reproduces the run decision for
+decision, which is what turns a fuzzer-found failure into a committed
+regression test (see DESIGN.md, "Happens-before model & replay").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -93,3 +103,50 @@ class Tracer:
             if c == op_class:
                 tot += b - a
         return tot
+
+
+#: decision kinds a schedule trace may contain, in the vocabulary of the
+#: fuzzer/replayer (see :mod:`repro.hpx.scheduler`):
+#:
+#: * ``tie``      - ready-queue tie-break key for one event push
+#: * ``victim``   - steal victim worker id
+#: * ``wake``     - idle worker chosen to receive a fresh task
+#: * ``place``    - worker a task is placed on when nobody is idle
+#: * ``coalesce`` - destination-locality order of one out-edge wave
+SCHEDULE_DECISION_KINDS = ("tie", "victim", "wake", "place", "coalesce")
+
+
+@dataclass
+class ScheduleTrace:
+    """A replayable record of every schedule decision of one run.
+
+    ``decisions`` is a flat list of ``[kind, value]`` pairs in the exact
+    order the run consumed them; ``meta`` carries provenance (the fuzz
+    seed, free-form workload notes) so a trace file is self-describing.
+    All values are JSON-native (ints or lists of ints), so a trace
+    round-trips losslessly through :meth:`save`/:meth:`load` and can be
+    committed next to the regression test that replays it.
+    """
+
+    meta: dict = field(default_factory=dict)
+    decisions: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def counts(self) -> dict[str, int]:
+        """Decision tally by kind (diagnostic/diversity metric)."""
+        out: dict[str, int] = {}
+        for kind, _ in self.decisions:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            json.dump({"meta": self.meta, "decisions": self.decisions}, f)
+
+    @classmethod
+    def load(cls, path) -> "ScheduleTrace":
+        with open(path) as f:
+            raw = json.load(f)
+        return cls(meta=raw.get("meta", {}), decisions=raw["decisions"])

@@ -24,6 +24,18 @@ The reliable protocol makes delivery effectively exactly-once, so an
 evaluation over a faulty network produces bit-identical results to the
 fault-free run - only the virtual clock degrades (retries, backoff,
 ack traffic).
+
+Interplay with the concurrency tooling (:mod:`repro.hpx.hazards`,
+schedule fuzzing): every transport timer, arrival and ack rides the
+scheduler's event heap, so fuzzed tie-breaking reorders them at equal
+virtual timestamps like any other event - retry/ack races are part of
+the fuzzed schedule space.  A retransmitted parcel carries the
+``hb`` stamp of its original send, so the delivered thread's causal
+history is identical no matter which copy got through; duplicate
+copies suppressed by the receiver are counted with the hazard detector
+(:meth:`~repro.hpx.hazards.HazardDetector.note_transport_dup`) but
+never reported - exactly-once delivery absorbing a duplicate is the
+protocol working, not an application hazard.
 """
 
 from __future__ import annotations
@@ -170,6 +182,9 @@ class ReliableTransport:
             self._seen.add(seq)
         else:
             self.dups_suppressed += 1
+            hz = getattr(self.scheduler, "hazards", None)
+            if hz is not None:
+                hz.note_transport_dup(parcel)
         # always (re-)ack: the sender may have missed the previous ack
         self._send_ack(parcel, t)
         if fresh:

@@ -1,5 +1,18 @@
-"""Shared fixtures: kernels and operator factories are expensive to warm
-up (operator fitting, quadrature generation), so they are session-scoped."""
+"""Shared fixtures and marker wiring.
+
+Kernels and operator factories are expensive to warm up (operator
+fitting, quadrature generation), so they are session-scoped.
+
+Two opt-in markers keep the default ``pytest -x -q`` lane fast:
+
+* ``slow`` - long-running scaling/benchmark style tests;
+* ``fuzz`` - the full schedule-fuzz sweeps (>= 100 fuzzed schedules
+  per method; see ``test_schedule_fuzz.py``).
+
+Tests carrying either marker are skipped unless a ``-m`` expression
+selects markers explicitly (``pytest -m fuzz``, ``pytest -m "slow or
+fuzz"``, ...).
+"""
 
 from __future__ import annotations
 
@@ -9,6 +22,18 @@ import pytest
 from repro.kernels.fitops import OperatorFactory
 from repro.kernels.laplace import LaplaceKernel
 from repro.kernels.yukawa import YukawaKernel
+
+OPT_IN_MARKERS = ("slow", "fuzz")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        return  # an explicit marker expression overrides the default skip
+    for marker in OPT_IN_MARKERS:
+        skip = pytest.mark.skip(reason=f"{marker} test: select with -m {marker}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")
