@@ -48,6 +48,57 @@ def dag_critical_path(dag: DAG, cost_model: CostModel | None = None) -> dict:
     return out
 
 
+def node_priorities(
+    dag: DAG, cost_model: CostModel | None = None, levels: int = 3
+) -> list[int]:
+    """Quantized critical-path priority level per DAG node.
+
+    A node's *downstream distance* is the cost of the longest path from
+    it to any sink, with edge weights from ``cost_model`` (hop count
+    when None).  Distances quantize linearly into ``levels`` buckets:
+    the largest distance maps to level 0 (most critical - the S nodes
+    feeding the upward chain), the sinks (T nodes) to ``levels - 1``.
+    Levels are monotone along every edge (``level[src] <= level[dst]``),
+    so draining lower levels first always advances the critical path.
+
+    The DASHMM registrar stamps these levels onto continuation tasks
+    and parcels at registration time when the runtime's scheduling
+    policy is graded (see
+    :class:`repro.hpx.scheduler.CriticalPathPolicy`).
+    """
+    n = len(dag.nodes)
+    dist = [0.0] * n
+    nodes = dag.nodes
+    out_edges = dag.out_edges
+    if cost_model is not None:
+        edge_cost = cost_model.edge_cost
+
+        def w(e):
+            s, t = nodes[e.src], nodes[e.dst]
+            return edge_cost(
+                e.op, n_src=max(s.n_points, 1), n_tgt=max(t.n_points, 1)
+            )
+
+    else:
+
+        def w(e):
+            return 1.0
+
+    for nid in reversed(dag._topological_order()):
+        best = 0.0
+        for e in out_edges[nid]:
+            d = w(e) + dist[e.dst]
+            if d > best:
+                best = d
+        dist[nid] = best
+    dmax = max(dist, default=0.0)
+    if dmax <= 0.0 or levels < 2:
+        return [0] * n
+    top = levels - 1
+    scale = top / dmax
+    return [max(top - int(d * scale), 0) for d in dist]
+
+
 def work_by_group(dag: DAG, cost_model: CostModel) -> dict[str, float]:
     """Total work (seconds of task time) per operation group.
 

@@ -17,7 +17,7 @@ cost model only (no numerics), enabling paper-scale scaling studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
@@ -135,6 +135,30 @@ class DashmmEvaluator:
         dag = build_fmm_dag(dual, lists, advanced=(self.method == "fmm"), vectorized=vec)
         return dag, lists
 
+    def _resolved_config(self) -> RuntimeConfig:
+        """The runtime config with method-aware policy resolution.
+
+        The ``"critical-path"`` policy string is resolved here rather
+        than in the scheduler so the near/far operator split matches the
+        method actually being evaluated (FMM vs Barnes-Hut); the hpx
+        layer never imports method modules.
+        """
+        cfg = self.runtime_config
+        if cfg.policy == "critical-path":
+            from repro.hpx.scheduler import CriticalPathPolicy
+
+            if self.method == "bh":
+                from repro.methods.barneshut import FAR_FIELD_OPS, NEAR_FIELD_OPS
+            else:
+                from repro.methods.fmm import FAR_FIELD_OPS, NEAR_FIELD_OPS
+            return replace(
+                cfg,
+                policy=CriticalPathPolicy(
+                    near_ops=NEAR_FIELD_OPS, far_ops=FAR_FIELD_OPS
+                ),
+            )
+        return cfg
+
     # -- evaluation ----------------------------------------------------------------
     def evaluate(
         self,
@@ -162,7 +186,7 @@ class DashmmEvaluator:
             dag, lists = self.build_dag(dual, lists)
         self.policy.assign(dag, dual, self.runtime_config.n_localities)
 
-        runtime = Runtime(self.runtime_config)
+        runtime = Runtime(self._resolved_config())
         reg = Registrar(
             runtime,
             dag,

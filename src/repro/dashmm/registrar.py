@@ -274,6 +274,28 @@ class Registrar:
         self._nodes = dag.nodes
         self._sboxes = dual.source.boxes if dual is not None else None
         self._tboxes = dual.target.boxes if dual is not None else None
+        # scheduling-policy wiring: a prioritized policy splits the
+        # critical chain from leaf outputs (binary HIGH/LOW or graded
+        # levels); a graded one additionally stamps offline
+        # critical-path levels onto continuations and parcels
+        pol = runtime.scheduler.policy
+        self.policy = pol
+        self._split = pol.prioritized
+        self._node_levels: list[int] | None = None
+        self._near_ops: frozenset = frozenset()
+        self._filler_level = LOW
+        if pol.graded:
+            # lazy import: repro.hpx must stay importable without the
+            # analysis layer, and analysis imports repro.dashmm.dag
+            from repro.analysis.critical_path import node_priorities
+
+            # the last level is reserved for the near-field stream the
+            # policy interposes; graded levels cover the rest
+            self._near_ops = frozenset(getattr(pol, "near_ops", ("S2T",)))
+            self._filler_level = pol.n_levels - 1
+            self._node_levels = node_priorities(
+                dag, cost_model=self.cost, levels=pol.n_levels - 1
+            )
         runtime.register_action("dashmm_edges", self._edges_action)
 
     # -- allocation (Fig. 2, t0/t1) ------------------------------------------------
@@ -298,19 +320,20 @@ class Registrar:
     def initial_tasks(self) -> int:
         """Enqueue the time-zero tasks (out-edges of every S node)."""
         count = 0
-        priorities = self.runtime.config.priorities
         for node in self.dag.nodes:
             if node.kind != "S":
                 continue
             edges = self.dag.out_edges[node.id]
             if not edges:
                 continue
-            if priorities:
+            if self._split:
                 # split critical-path work (S->M, S->L) from the near
                 # field so the scheduler favours the expansion pipeline
                 crit = [e for e in edges if e.op in CRITICAL_OPS]
                 rest = [e for e in edges if e.op not in CRITICAL_OPS]
-                groups = [(crit, HIGH), (rest, LOW)]
+                groups = [
+                    (g, self._edge_priority(g)) for g in (crit, rest) if g
+                ]
             else:
                 groups = [(edges, LOW)]
             for group, pr in groups:
@@ -329,8 +352,14 @@ class Registrar:
         return count
 
     def _node_priority(self, node: DagNode) -> int:
-        """Expansion nodes drive the critical chain; leaf data does not."""
-        if not self.runtime.config.priorities:
+        """Expansion nodes drive the critical chain; leaf data does not.
+
+        Graded policies use the node's offline critical-path level; the
+        binary policy promotes every expansion node to HIGH.
+        """
+        if self._node_levels is not None:
+            return self._node_levels[node.id]
+        if not self._split:
             return LOW
         return HIGH if node.kind in ("M", "Is", "It", "L") else LOW
 
@@ -338,9 +367,10 @@ class Registrar:
     def _continuation(self, ctx, node_id: int) -> None:
         node = self.dag.nodes[node_id]
         edges = self.dag.out_edges[node_id]
-        if self.runtime.config.priorities and node.kind in ("M", "Is", "It", "L"):
-            # run the critical chain inline at high priority, defer the
-            # leaf-output edges (M->T, L->T) to a low-priority sibling
+        if self._split and node.kind in ("M", "Is", "It", "L"):
+            # run the critical chain inline at the node's priority,
+            # defer the leaf-output edges (M->T, L->T) to a
+            # lower-priority sibling
             crit = [e for e in edges if e.op in CRITICAL_OPS]
             rest = [e for e in edges if e.op not in CRITICAL_OPS]
             self._process_edges(ctx, node_id, crit)
@@ -350,7 +380,7 @@ class Registrar:
                         fn=self._process_edges,
                         args=(node_id, rest),
                         op_class=f"edges:{node.kind}",
-                        priority=LOW,
+                        priority=self._edge_priority(rest),
                     )
                 )
         else:
@@ -447,7 +477,19 @@ class Registrar:
                     )
 
     def _edge_priority(self, edges) -> int:
-        if not self.runtime.config.priorities:
+        """Priority stamp for a task/parcel carrying this edge group.
+
+        Graded: the most critical destination level in the group, except
+        pure near-field (P2P) groups, which land on the reserved filler
+        level the policy interposes under far-field bursts.  Binary:
+        HIGH when any edge is on the critical chain.
+        """
+        levels = self._node_levels
+        if levels is not None:
+            if all(e.op in self._near_ops for e in edges):
+                return self._filler_level
+            return min(levels[e.dst] for e in edges)
+        if not self._split:
             return LOW
         return HIGH if any(e.op in CRITICAL_OPS for e in edges) else LOW
 

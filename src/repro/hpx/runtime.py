@@ -16,7 +16,13 @@ from repro.hpx.gas import GlobalAddressSpace
 from repro.hpx.hazards import HazardDetector
 from repro.hpx.network import NetworkModel
 from repro.hpx.parcel import Parcel
-from repro.hpx.scheduler import ScheduleFuzzer, ScheduleReplayer, Scheduler, Task
+from repro.hpx.scheduler import (
+    ScheduleFuzzer,
+    ScheduleReplayer,
+    Scheduler,
+    SchedulingPolicy,
+    Task,
+)
 from repro.hpx.tracing import ScheduleTrace, Tracer
 from repro.hpx.transport import ReliableTransport
 
@@ -25,11 +31,16 @@ from repro.hpx.transport import ReliableTransport
 class RuntimeConfig:
     """Knobs of the simulated cluster.
 
-    ``priorities`` enables the binary task-priority extension the paper
-    proposes (Section VI); stock HPX-5 (the measured configuration) has
-    it off.  ``progress_cost`` models the time HPX-5's network progress
-    charges on the receiving locality per remote parcel - the paper
-    attributes a small part of the utilization deficit to it.
+    ``policy`` selects the scheduling policy: ``"stock"`` (the default,
+    matching stock HPX-5), ``"binary"`` (Section VI's high/low
+    extension), ``"critical-path"`` (offline critical-path levels with
+    near/far interleaving and eager parcel release), or a
+    :class:`~repro.hpx.scheduler.SchedulingPolicy` instance.
+    ``priorities`` is the legacy boolean spelling of ``"binary"`` and
+    is ignored when ``policy`` is given.  ``progress_cost`` models the
+    time HPX-5's network progress charges on the receiving locality per
+    remote parcel - the paper attributes a small part of the
+    utilization deficit to it.
 
     ``reliable`` turns on the sequence-numbered, acknowledged,
     retry-with-backoff parcel transport (see
@@ -63,6 +74,7 @@ class RuntimeConfig:
     workers_per_locality: int = 32
     network: NetworkModel = field(default_factory=NetworkModel)
     priorities: bool = False
+    policy: "str | SchedulingPolicy | None" = None
     tracing: bool = True
     steal_seed: int = 12345
     measure_costs: bool = False
@@ -100,6 +112,7 @@ class Runtime:
             network=self.network,
             tracer=self.tracer,
             priorities=self.config.priorities,
+            policy=self.config.policy,
             steal_seed=self.config.steal_seed,
             measure_costs=self.config.measure_costs,
             measure_scale=self.config.measure_scale,
@@ -279,6 +292,7 @@ class Runtime:
             "remote_bytes": s.remote_bytes,
             "cores": self.config.total_cores,
             "lco_dups_suppressed": s.lco_dups_suppressed,
+            "policy": s.policy.name,
         }
         transport = s.transport.stats()
         if transport:

@@ -19,11 +19,21 @@ begin/end event instrumentation.
 Scheduling discipline
 ---------------------
 Owner pops LIFO (work-first, depth-first into the DAG), thieves steal
-FIFO from a random victim on the same locality.  With ``priorities``
-enabled, each worker keeps a high- and a low-priority deque and always
-drains high first - this is exactly the "binary choice between low and
-high priority" extension the paper's Section VI proposes for HPX-5,
-off by default to match stock HPX-5.
+FIFO from a random victim on the same locality.  The ready-queue
+discipline beyond that is owned by a :class:`SchedulingPolicy`:
+
+* ``stock`` - one effective ready level, matching stock HPX-5 (the
+  measured configuration); the default.
+* ``binary`` - each worker keeps a high- and a low-priority deque and
+  always drains high first: exactly the "binary choice between low and
+  high priority" extension the paper's Section VI proposes for HPX-5
+  (also reachable via the legacy ``priorities=True`` knob).
+* ``critical-path`` - tasks carry a quantized critical-path level
+  stamped offline (longest downstream path through the explicit DAG,
+  see :func:`repro.analysis.critical_path.node_priorities`); the last
+  level is reserved for near-field (P2P) work, which the policy
+  interposes under far-field bursts every ``interleave`` picks, and
+  parcel sends are released eagerly for comm/compute overlap.
 
 RNG streams & seed plumbing
 ---------------------------
@@ -75,6 +85,122 @@ from repro.hpx.transport import DirectTransport
 
 HIGH = 0
 LOW = 1
+
+
+class SchedulingPolicy:
+    """Stock HPX-5 ready-queue discipline; base class for all policies.
+
+    A policy owns every degree of freedom of the ready-queue discipline:
+
+    * ``n_levels`` - how many priority deques each worker keeps (level
+      0 drains first; thieves steal from the most critical non-empty
+      level);
+    * ``level_of(task)`` - the level a task's ``priority`` stamp maps
+      to at enqueue time;
+    * ``interleave`` - when nonzero, one task from the *last* (filler)
+      level is interposed after every ``interleave`` consecutive picks
+      from more critical levels (near/far pipelining);
+    * ``eager_sends`` - release parcel sends at the point the task's
+      charge accounting has reached instead of at task completion
+      (comm/compute overlap);
+    * ``prioritized`` / ``graded`` - whether the DASHMM registrar
+      should split critical-chain work from leaf outputs, and whether
+      it should stamp offline critical-path levels onto tasks.
+
+    The stock policy keeps two levels but maps every task to the low
+    one, which is bit-identical to the historical single-queue
+    scheduler and keeps the ``deques[worker][HIGH/LOW]`` layout stable.
+    """
+
+    name = "stock"
+    n_levels = 2
+    interleave = 0
+    eager_sends = False
+    prioritized = False
+    graded = False
+
+    def level_of(self, task: "Task") -> int:
+        return LOW
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<{type(self).__name__} {self.name!r} levels={self.n_levels}>"
+
+
+class BinaryPriorityPolicy(SchedulingPolicy):
+    """Section VI's binary high/low extension (legacy ``priorities=True``)."""
+
+    name = "binary"
+    prioritized = True
+
+    def level_of(self, task: "Task") -> int:
+        return HIGH if task.priority <= HIGH else LOW
+
+
+class CriticalPathPolicy(SchedulingPolicy):
+    """Critical-path-weighted levels with near/far pipelining.
+
+    Tasks carry a level stamped at registration time from the explicit
+    DAG (:func:`repro.analysis.critical_path.node_priorities`: longest
+    downstream path under the cost model, quantized; level 0 is most
+    critical).  The last level is reserved for near-field (P2P) work -
+    the ops in ``near_ops`` - which the scheduler interposes under
+    far-field bursts every ``interleave`` picks so the abundant S->T
+    stream drains while M2L waves monopolize the critical levels.
+    ``eager_sends`` releases parcels at the charge point reached inside
+    the sending task, overlapping communication with the remainder of
+    the task's compute.
+    """
+
+    name = "critical-path"
+    prioritized = True
+    graded = True
+
+    def __init__(
+        self,
+        levels: int = 4,
+        interleave: int = 8,
+        eager_sends: bool = True,
+        near_ops: tuple = ("S2T",),
+        far_ops: tuple = (),
+    ):
+        if levels < 2:
+            raise ValueError("critical-path policy needs at least 2 levels")
+        self.n_levels = levels
+        self.interleave = interleave
+        self.eager_sends = eager_sends
+        self.near_ops = frozenset(near_ops)
+        self.far_ops = frozenset(far_ops)
+
+    def level_of(self, task: "Task") -> int:
+        p = task.priority
+        if p <= 0:
+            return 0
+        last = self.n_levels - 1
+        return p if p < last else last
+
+
+#: policy registry for the string spellings accepted by RuntimeConfig
+POLICIES = {
+    "stock": SchedulingPolicy,
+    "binary": BinaryPriorityPolicy,
+    "critical-path": CriticalPathPolicy,
+}
+
+
+def resolve_policy(
+    policy: "SchedulingPolicy | str | None" = None, priorities: bool = False
+) -> SchedulingPolicy:
+    """Resolve a policy spec (instance, name, or None + legacy flag)."""
+    if policy is None:
+        return BinaryPriorityPolicy() if priorities else SchedulingPolicy()
+    if isinstance(policy, str):
+        cls = POLICIES.get(policy)
+        if cls is None:
+            raise ValueError(
+                f"unknown scheduling policy {policy!r}; known: {sorted(POLICIES)}"
+            )
+        return cls()
+    return policy
 
 
 class ReplayDivergence(RuntimeError):
@@ -229,10 +355,20 @@ class TaskContext:
     # -- buffered effects (released at task completion) ----------------------
     def spawn(self, task: Task, locality: int | None = None) -> None:
         """Spawn a task (on this locality unless stated otherwise)."""
-        self.effects.append(("spawn", (task, self.locality if locality is None else locality)))
+        self.effects.append(("spawn", task, self.locality if locality is None else locality))
 
     def send_parcel(self, parcel) -> None:
-        self.effects.append(("parcel", parcel))
+        sch = self.scheduler
+        if sch._eager_sends:
+            # comm/compute overlap (critical-path policy): the parcel
+            # leaves at the point the task's charge accounting has
+            # reached, not at task completion.  Bodies run at pick time,
+            # so this never schedules into the past, and the event ride
+            # through _push_event keeps the freedom replayable.
+            t_send = self.time + sum(dt for _, dt in self.charges)
+            sch._push_event(t_send, "send", (self.worker, self.hb, parcel))
+        else:
+            self.effects.append(("parcel", parcel))
 
     def lco_set(self, lco, value=None, key=None, op_class=None) -> None:
         """Set an LCO input; the LCO must live on this locality.
@@ -243,7 +379,7 @@ class TaskContext:
         structured :class:`~repro.hpx.lco.LCOError` otherwise.
         ``op_class`` labels the contribution for diagnostics.
         """
-        self.effects.append(("lco_set", (lco, value, key, op_class)))
+        self.effects.append(("lco_set", lco, value, key, op_class))
 
     def call_at_completion(self, fn: Callable[[float], None]) -> None:
         """Run ``fn(t_end)`` when the task completes (bookkeeping hooks)."""
@@ -263,6 +399,7 @@ class Scheduler:
         steal_seed: int = 12345,
         measure_costs: bool = False,
         measure_scale: float = 1.0,
+        policy: "SchedulingPolicy | str | None" = None,
     ):
         if n_localities < 1 or workers_per_locality < 1:
             raise ValueError("need at least 1 locality and 1 worker")
@@ -271,7 +408,11 @@ class Scheduler:
         self.n_workers = n_localities * workers_per_locality
         self.network = network
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        self.priorities = priorities
+        #: the ready-queue discipline; ``priorities=True`` is the legacy
+        #: spelling of the binary policy and is ignored when an explicit
+        #: policy is given
+        self.policy = resolve_policy(policy, priorities)
+        self.priorities = self.policy.prioritized
         self.measure_costs = measure_costs
         self.measure_scale = measure_scale
         self._rng = random.Random(steal_seed)
@@ -281,10 +422,19 @@ class Scheduler:
             list(range(l * workers_per_locality, (l + 1) * workers_per_locality))
             for l in range(n_localities)
         ]
-        # deques[worker][priority]
-        self.deques: list[tuple[deque, deque]] = [
-            (deque(), deque()) for _ in range(self.n_workers)
+        # deques[worker][level]; level 0 drains first
+        n_levels = self.policy.n_levels
+        self.deques: list[tuple[deque, ...]] = [
+            tuple(deque() for _ in range(n_levels)) for _ in range(self.n_workers)
         ]
+        # hot-path caches of the policy's knobs
+        self._n_levels = n_levels
+        self._level_of = self.policy.level_of
+        self._interleave = self.policy.interleave
+        self._eager_sends = self.policy.eager_sends
+        self._burst = [0] * self.n_workers
+        #: recycled TaskContexts (slot reuse; see _acquire_ctx)
+        self._ctx_pool: list[TaskContext] = []
         self.busy = [False] * self.n_workers
         self._idle: list[deque] = [deque() for _ in range(n_localities)]
         self._idle_set: set[int] = set()
@@ -315,13 +465,22 @@ class Scheduler:
     # -- public API -----------------------------------------------------------
     def enqueue(self, task: Task, locality: int, t: float, worker_hint: int | None = None) -> None:
         """Make a task runnable on ``locality`` at time ``t``."""
-        pr = task.priority if self.priorities else LOW
+        pr = self._level_of(task)
         idle = self._idle[locality]
         drv = self.schedule_driver
         if drv is not None and idle:
             # fuzzed wakeup: any idle worker may win the fresh task, not
-            # just the longest-idle one (all are legal in real HPX-5)
-            live = [w for w in idle if w in self._idle_set]
+            # just the longest-idle one (all are legal in real HPX-5).
+            # Stale entries (workers already woken) and duplicates are
+            # dropped exactly as the deterministic path skips them, and
+            # the survivors keep their original relative order so the
+            # idle queue never diverges from the unfuzzed layout.
+            live: list[int] = []
+            seen: set[int] = set()
+            for w in idle:
+                if w in self._idle_set and w not in seen:
+                    live.append(w)
+                    seen.add(w)
             idle.clear()
             if live:
                 w = drv.choose("wake", live)
@@ -351,21 +510,47 @@ class Scheduler:
         self.deques[w][pr].append(task)
 
     def run(self, until: float | None = None) -> float:
-        """Process events until quiescence; returns the final time."""
-        # kick every worker so initially enqueued tasks get picked
-        for w in range(self.n_workers):
-            if not self.busy[w]:
-                self._push_event(self.now, "pick", w)
-        # hot loop: pre-bind everything touched per event
+        """Process events until quiescence (or ``until``); returns the time.
+
+        A bounded run leaves every unprocessed event - including the
+        first one past the horizon - on the heap, so a later ``run()``
+        resumes exactly where this one stopped and the combined
+        execution is bit-identical to one uninterrupted run.
+        """
         heap = self._heap
+        # kick workers that are neither busy nor parked idle so
+        # initially enqueued tasks get picked.  Idle workers are always
+        # woken by enqueue (an idle worker never coexists with
+        # stealable work on its locality), and re-kicking them on a
+        # resumed run would duplicate their idle-queue entries.
+        idle_set = self._idle_set
+        busy = self.busy
+        kicks = [
+            w for w in range(self.n_workers) if not busy[w] and w not in idle_set
+        ]
+        if kicks:
+            drv = self.schedule_driver
+            if drv is None and not heap:
+                # bulk path: entries at one timestamp with increasing
+                # seq form a sorted list, which is already a valid heap
+                t0 = self.now
+                seq = self._seq
+                heap.extend((t0, 0, next(seq), "pick", w) for w in kicks)
+            else:
+                for w in kicks:
+                    self._push_event(self.now, "pick", w)
+        # hot loop: pre-bind everything touched per event
         heappop = heapq.heappop
         try_pick = self._try_pick
         finish = self._finish
+        bounded = until is not None
         while heap:
-            t, _, _, kind, data = heappop(heap)
-            if until is not None and t > until:
+            if bounded and heap[0][0] > until:
+                # horizon reached: the over-horizon event stays queued
+                # for the next run instead of being popped and lost
                 self.now = until
                 break
+            t, _, _, kind, data = heappop(heap)
             if kind == "pick":
                 self.now = t
                 try_pick(data, t)
@@ -377,6 +562,12 @@ class Scheduler:
                     raise RuntimeError("no parcel delivery handler installed")
                 self.now = t
                 self.deliver_parcel(data, t)
+            elif kind == "send":
+                # eager parcel release (critical-path policy): the send
+                # point inside the still-running task has been reached
+                worker, hb, parcel = data
+                self.now = t
+                self._release_parcel(worker, hb, parcel, t)
             elif kind == "call":
                 # transport machinery (arrivals, acks, retry timers); a
                 # cancelled timer must not drag the clock forward
@@ -414,16 +605,16 @@ class Scheduler:
 
     def _pop_task(self, worker: int) -> Task | None:
         mine = self.deques[worker]
-        if mine[HIGH]:
-            return mine[HIGH].pop()  # owner pops LIFO
-        if mine[LOW]:
-            return mine[LOW].pop()
-        # randomized stealing within the locality, FIFO end, high first
+        lvl = self._own_level(worker, mine)
+        if lvl >= 0:
+            return mine[lvl].pop()  # owner pops LIFO
+        # randomized stealing within the locality, FIFO end, most
+        # critical non-empty level first
         deques = self.deques
         victims = [
             w
             for w in self.locality_workers[self.worker_locality[worker]]
-            if w != worker and (deques[w][HIGH] or deques[w][LOW])
+            if w != worker and any(deques[w])
         ]
         if not victims:
             return None
@@ -438,16 +629,69 @@ class Scheduler:
         victim = deques[chosen]
         self.steals += 1
         # the victim was non-empty when scanned above; pop directly
-        return victim[HIGH].popleft() if victim[HIGH] else victim[LOW].popleft()
+        for d in victim:
+            if d:
+                return d.popleft()
+        return None  # pragma: no cover - unreachable
+
+    def _own_level(self, worker: int, mine) -> int:
+        """The level this worker pops from next (-1 when all are empty).
+
+        Without interleaving this is simply the most critical non-empty
+        level.  With it (critical-path policy), one filler task - the
+        last level holds the near-field stream - is interposed after
+        every ``interleave`` consecutive critical picks, so P2P work
+        drains under M2L bursts.  Under a schedule driver the choice is
+        schedule freedom: recorded by the fuzzer, consumed on replay.
+        """
+        first = -1
+        for i, d in enumerate(mine):
+            if d:
+                first = i
+                break
+        if first < 0:
+            return -1
+        k = self._interleave
+        if k:
+            last = self._n_levels - 1
+            if first != last and mine[last]:
+                drv = self.schedule_driver
+                if drv is not None:
+                    return drv.choose("interleave", [first, last])
+                b = self._burst[worker] + 1
+                if b >= k:
+                    self._burst[worker] = 0
+                    return last
+                self._burst[worker] = b
+        return first
 
     def _go_idle(self, worker: int) -> None:
         if worker not in self._idle_set:
             self._idle_set.add(worker)
             self._idle[self.worker_locality[worker]].append(worker)
 
+    def _acquire_ctx(self, worker: int, t: float) -> TaskContext:
+        """A fresh-looking TaskContext, recycled from the pool when possible.
+
+        Contexts are returned to the pool at the end of ``_finish``;
+        recycling the object (and its charges/effects lists) removes
+        three allocations from the per-task hot path.
+        """
+        pool = self._ctx_pool
+        if pool:
+            ctx = pool.pop()
+            ctx.worker = worker
+            ctx.locality = self.worker_locality[worker]
+            ctx.time = t
+            ctx.charges.clear()
+            ctx.effects.clear()
+            ctx.hb = None
+            return ctx
+        return TaskContext(self, worker, t)
+
     def _execute(self, worker: int, task: Task, t: float) -> None:
         self.busy[worker] = True
-        ctx = TaskContext(self, worker, t)
+        ctx = self._acquire_ctx(worker, t)
         hz = self.hazards
         if hz is not None:
             # the task's HB event was minted at its causal site (spawn /
@@ -458,8 +702,12 @@ class Scheduler:
         if self.measure_costs:
             w0 = _time.perf_counter()
             task.fn(ctx, *task.args)
-            elapsed = (_time.perf_counter() - w0) * self.measure_scale
-            ctx.charges.append((task.op_class, elapsed))
+            if not ctx.charges:
+                # mirror the static-cost branch: a body that charged
+                # explicitly keeps its own accounting; only silent
+                # bodies are billed the measured elapsed wall time
+                elapsed = (_time.perf_counter() - w0) * self.measure_scale
+                ctx.charges.append((task.op_class, elapsed))
         else:
             task.fn(ctx, *task.args)
             if not ctx.charges:
@@ -480,42 +728,47 @@ class Scheduler:
                 cursor += dt
         self._push_event(cursor, "done", (worker, ctx))
 
+    def _release_parcel(self, worker: int, hb, parcel, t: float) -> None:
+        """Hand one parcel to the transport (from _finish or a send event)."""
+        self.parcels_sent += 1
+        src = self.worker_locality[worker]
+        parcel.origin = src
+        if self.hazards is not None and parcel.hb is None:
+            # the send event; every delivered copy (including
+            # retransmissions) is caused by it
+            parcel.hb = hb
+        dst = parcel.target_locality
+        if src == dst:
+            # local sends are thread spawns; no network, no faults
+            self.post_parcel_arrival(parcel, t)
+        else:
+            self.remote_bytes += parcel.size_bytes
+            self.transport.send(parcel, src, dst, t)
+
     def _finish(self, data, t: float) -> None:
         worker, ctx = data
         hz = self.hazards
         if hz is not None:
             # effects are released now; they are caused by this task
             hz.current = ctx.hb
-        for kind, payload in ctx.effects:
+        for eff in ctx.effects:
+            kind = eff[0]
             if kind == "lco_set":
-                lco, value, key, op_class = payload
+                _, lco, value, key, op_class = eff
                 lco._apply_set(value, t, self, key=key, op_class=op_class)
             elif kind == "spawn":
-                task, locality = payload
+                _, task, locality = eff
                 if hz is not None and task.hb is None:
                     task.hb = hz.derive(
                         (ctx.hb,), label=f"spawn:{task.op_class}", t=t
                     )
                 self.enqueue(task, locality, t, worker_hint=worker)
             elif kind == "parcel":
-                parcel = payload
-                self.parcels_sent += 1
-                src = self.worker_locality[worker]
-                parcel.origin = src
-                if hz is not None and parcel.hb is None:
-                    # the send event; every delivered copy (including
-                    # retransmissions) is caused by it
-                    parcel.hb = ctx.hb
-                dst = parcel.target_locality
-                if src == dst:
-                    # local sends are thread spawns; no network, no faults
-                    self.post_parcel_arrival(parcel, t)
-                else:
-                    self.remote_bytes += parcel.size_bytes
-                    self.transport.send(parcel, src, dst, t)
+                self._release_parcel(worker, ctx.hb, eff[1], t)
             elif kind == "call":
-                payload(t)
+                eff[1](t)
         if hz is not None:
             hz.current = None
         self.busy[worker] = False
+        self._ctx_pool.append(ctx)
         self._try_pick(worker, t)

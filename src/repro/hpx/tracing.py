@@ -108,12 +108,15 @@ class Tracer:
 #: decision kinds a schedule trace may contain, in the vocabulary of the
 #: fuzzer/replayer (see :mod:`repro.hpx.scheduler`):
 #:
-#: * ``tie``      - ready-queue tie-break key for one event push
-#: * ``victim``   - steal victim worker id
-#: * ``wake``     - idle worker chosen to receive a fresh task
-#: * ``place``    - worker a task is placed on when nobody is idle
-#: * ``coalesce`` - destination-locality order of one out-edge wave
-SCHEDULE_DECISION_KINDS = ("tie", "victim", "wake", "place", "coalesce")
+#: * ``tie``        - ready-queue tie-break key for one event push
+#: * ``victim``     - steal victim worker id
+#: * ``wake``       - idle worker chosen to receive a fresh task
+#: * ``place``      - worker a task is placed on when nobody is idle
+#: * ``coalesce``   - destination-locality order of one out-edge wave
+#: * ``interleave`` - near/far pipelining pick: critical level vs the
+#:   filler (near-field) level, when both hold work under an
+#:   interleaving policy
+SCHEDULE_DECISION_KINDS = ("tie", "victim", "wake", "place", "coalesce", "interleave")
 
 
 @dataclass

@@ -22,6 +22,13 @@ from repro.kernels.fitops import OperatorFactory
 from repro.tree.dualtree import DualTree, build_dual_tree
 from repro.tree.lists import _ranges
 
+#: Scheduling classification of the Barnes-Hut operator classes (see
+#: the FMM counterpart in :mod:`repro.methods.fmm`): the direct S->T
+#: stream is near-field filler, the multipole pipeline and its leaf
+#: evaluations are far-field.
+NEAR_FIELD_OPS = ("S2T",)
+FAR_FIELD_OPS = ("S2M", "M2M", "M2T")
+
 
 @dataclass
 class BhStats:

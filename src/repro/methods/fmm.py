@@ -28,6 +28,38 @@ from repro.kernels.fitops import OperatorFactory
 from repro.tree.dualtree import DualTree, build_dual_tree
 from repro.tree.lists import InteractionLists, build_lists, list_pairs
 
+#: Scheduling classification of the FMM's operator classes.  Near-field
+#: work is the direct particle-particle (P2P) stream - the abundant,
+#: dependency-free S->T interactions any idle core can chew on at any
+#: time.  Far-field work is everything touching an expansion: the
+#: upward chain, the bridge (direct M->L or merge-and-shift M->I/I->I/
+#: I->L), the downward shift and the expansion evaluations at the
+#: leaves.  An interleaving policy
+#: (:class:`repro.hpx.scheduler.CriticalPathPolicy`) uses this split to
+#: pipeline the near-field stream under far-field (M2L) bursts.
+NEAR_FIELD_OPS = ("S2T",)
+FAR_FIELD_OPS = (
+    "S2M",
+    "M2M",
+    "M2L",
+    "M2I",
+    "I2I",
+    "I2L",
+    "S2L",
+    "L2L",
+    "M2T",
+    "L2T",
+)
+
+
+def op_field(op: str) -> str:
+    """``"near"`` (P2P) or ``"far"`` (expansion work) for an op class."""
+    if op in NEAR_FIELD_OPS:
+        return "near"
+    if op in FAR_FIELD_OPS:
+        return "far"
+    raise ValueError(f"unknown FMM op {op}")
+
 
 @dataclass
 class FmmStats:

@@ -95,6 +95,64 @@ def test_fuzz_decision_kinds_exercised(kernel, cloud):
         assert counts.get(kind, 0) > 0, counts
 
 
+# -- priority policies stay schedule-independent ---------------------------------
+
+
+@pytest.mark.parametrize("policy", ["binary", "critical-path"])
+def test_priority_policy_fuzz_sweep(kernel, cloud, policy):
+    """Every freedom the priority policies add routes through the driver.
+
+    Fuzzed runs under a priority policy must still produce bit-identical
+    potentials (vs that policy's own unfuzzed baseline), stay hazard
+    free, and genuinely explore distinct schedules - including the
+    interleave choice and eager-send event ordering of the
+    critical-path policy.
+    """
+
+    def run(seed):
+        return _evaluate(
+            kernel,
+            cloud,
+            policy=policy,
+            fuzz_schedule=seed,
+            detect_hazards=True,
+        )
+
+    baseline = _evaluate(kernel, cloud, policy=policy)
+    result = fuzz_sweep(run, seeds=range(4), baseline=baseline)
+    assert result.all_bit_identical, result.summary()
+    assert result.total_hazards == 0, result.summary()
+    assert result.distinct_makespans > 1, result.summary()
+    assert all(r.decisions > 0 for r in result.rows)
+
+
+def test_critical_path_fuzz_records_interleave_choices(kernel, cloud):
+    rep = _evaluate(kernel, cloud, policy="critical-path", fuzz_schedule=2)
+    counts = rep.extras["schedule_trace"].counts()
+    assert set(counts) <= set(SCHEDULE_DECISION_KINDS)
+    assert counts.get("interleave", 0) > 0, counts
+
+
+def test_priority_policy_replay_exact(kernel, cloud, tmp_path):
+    fuzzed = _evaluate(
+        kernel, cloud, policy="critical-path", fuzz_schedule=21, detect_hazards=True
+    )
+    trace = fuzzed.extras["schedule_trace"]
+    path = tmp_path / "cp-schedule.json"
+    trace.save(path)
+    replayed = _evaluate(
+        kernel,
+        cloud,
+        policy="critical-path",
+        replay_schedule=str(path),
+        detect_hazards=True,
+    )
+    assert replayed.time == fuzzed.time
+    assert np.array_equal(replayed.potentials, fuzzed.potentials)
+    assert replayed.runtime_stats["steals"] == fuzzed.runtime_stats["steals"]
+    assert replayed.runtime_stats["schedule_decisions"] == len(trace)
+
+
 # -- deterministic replay --------------------------------------------------------
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hpx.network import InfiniteNetwork, NetworkModel
-from repro.hpx.scheduler import HIGH, LOW, Scheduler, Task
+from repro.hpx.scheduler import HIGH, LOW, ScheduleFuzzer, Scheduler, Task
 from repro.hpx.tracing import Tracer
 
 
@@ -190,6 +190,83 @@ def test_idle_workers_wake_for_late_work():
     s.enqueue(Task(fn=lambda ctx: done.append(ctx.time), cost=1e-3), 0, t1)
     s.run()
     assert done and done[0] >= t1
+
+
+def test_run_until_keeps_over_horizon_event():
+    """Pausing before a task's completion must not lose its done event."""
+    s = make_sched(W=1)
+    s.enqueue(Task(fn=noop(1e-3), op_class="work"), 0, 0.0)
+    assert s.run(until=4e-4) == pytest.approx(4e-4)
+    # the completion (and its buffered effects) fire on the resumed run
+    assert s.run() == pytest.approx(1e-3)
+    assert s.tasks_run == 1
+    assert s.tracer.busy_time("work") == pytest.approx(1e-3)
+
+
+def _recursive_workload(seed):
+    s = make_sched(L=2, W=4, seed=seed)
+
+    def recursive(depth):
+        def body(ctx):
+            ctx.charge("w", 1e-6 * (depth + 1))
+            if depth < 3:
+                for _ in range(2):
+                    ctx.spawn(Task(fn=recursive(depth + 1), op_class="w"))
+
+        return body
+
+    for loc in range(2):
+        for _ in range(8):
+            s.enqueue(Task(fn=recursive(0), op_class="w"), loc, 0.0)
+    return s
+
+
+def test_pause_resume_bit_identical():
+    """run(until) + run() must equal one uninterrupted run exactly."""
+    a = _recursive_workload(5)
+    t_end = a.run()
+
+    b = _recursive_workload(5)
+    b.run(until=t_end * 0.37)
+    b.run(until=t_end * 0.81)
+    assert b.run() == t_end
+    assert b.steals == a.steals
+    assert b.tasks_run == a.tasks_run
+    assert b.tracer.events() == a.tracer.events()
+
+
+def test_measured_costs_respect_explicit_charges():
+    """A body that charges explicitly is not also billed wall time."""
+    s = Scheduler(1, 1, NetworkModel(), measure_costs=True)
+
+    def explicit(ctx):
+        ctx.charge("work", 0.5)
+
+    s.enqueue(Task(fn=explicit, op_class="work"), 0, 0.0)
+    assert s.run() == 0.5  # exactly: no measured-elapsed top-up
+
+
+def test_measured_costs_bill_silent_bodies():
+    s = Scheduler(1, 1, NetworkModel(), measure_costs=True, measure_scale=2.0)
+    s.enqueue(Task(fn=lambda ctx: None, op_class="work", cost=123.0), 0, 0.0)
+    t = s.run()
+    assert 0.0 < t < 1.0  # measured elapsed, not the static cost
+
+
+def test_fuzzed_wakeup_preserves_idle_order():
+    """The fuzzed wake drops stale/duplicate entries and keeps order."""
+    s = make_sched(W=4)
+    s.run()  # quiesce: all four workers park idle in worker order
+    assert list(s._idle[0]) == [0, 1, 2, 3]
+    # a stale duplicate (as a woken-but-not-removed entry would leave)
+    s._idle[0].appendleft(2)
+    s.schedule_driver = drv = ScheduleFuzzer(seed=3)
+    s.enqueue(Task(fn=noop(1e-6), op_class="work"), 0, s.now)
+    woken = next(v for k, v in reversed(drv.trace.decisions) if k == "wake")
+    assert woken not in s._idle_set
+    remaining = list(s._idle[0])
+    assert remaining == [w for w in (2, 0, 1, 3) if w != woken]
+    assert len(remaining) == len(set(remaining))  # deduplicated
 
 
 def test_invalid_configuration():
