@@ -13,12 +13,12 @@ fault-matrix job uploads as an artifact.
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 
-from benchmarks.conftest import RESULTS_DIR, write_report
+from benchmarks.conftest import write_report
+from benchmarks.trajectory import append_record
 from repro.analysis import degradation_sweep
 from repro.dashmm.evaluator import DashmmEvaluator
 from repro.hpx.network import FaultyNetwork
@@ -71,11 +71,7 @@ def test_fault_degradation_sweep():
         "seed": SEED,
         **sweep,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_degradation.json"
-    trajectory = json.loads(path.read_text()) if path.exists() else []
-    trajectory.append(record)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    append_record("BENCH_degradation", record)
 
     lines = [
         f"fault-degradation sweep  (n={N}, p={P}, drop=dup=rate, reorder=0.5,"

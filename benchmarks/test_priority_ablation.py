@@ -25,13 +25,13 @@ trajectory file.
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, THRESHOLD, write_report
+from benchmarks.conftest import THRESHOLD, write_report
+from benchmarks.trajectory import append_record
 from repro.analysis.utilization import (
     estimate_priority_gain,
     total_utilization,
@@ -147,10 +147,7 @@ def test_priority_ablation(benchmark):
             for tag, rows in (("full", full), ("sched", sched))
         },
     }
-    path = RESULTS_DIR / "BENCH_priorities.json"
-    trajectory = json.loads(path.read_text()) if path.exists() else []
-    trajectory.append(record)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    append_record("BENCH_priorities", record)
 
     # the regression gate: the default path must not drift
     assert out["stock_bit_identical"], "stock policy diverged from default config"

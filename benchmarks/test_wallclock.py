@@ -23,12 +23,12 @@ file.
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 
-from benchmarks.conftest import RESULTS_DIR, write_report
+from benchmarks.conftest import write_report
+from benchmarks.trajectory import append_record
 from repro.dashmm.dag import build_fmm_dag
 from repro.dashmm.evaluator import DashmmEvaluator
 from repro.hpx.runtime import RuntimeConfig
@@ -115,11 +115,7 @@ def test_wallclock_batched_vs_per_edge():
         "virtual_time": rb.time,
     }
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_wallclock.json"
-    trajectory = json.loads(path.read_text()) if path.exists() else []
-    trajectory.append(record)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    append_record("BENCH_wallclock", record)
 
     write_report(
         "wallclock",
@@ -204,11 +200,7 @@ def test_wallclock_setup_phase():
         "virtual_time": t_vec,
     }
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_wallclock.json"
-    trajectory = json.loads(path.read_text()) if path.exists() else []
-    trajectory.append(record)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    append_record("BENCH_wallclock", record)
 
     write_report(
         "wallclock_setup",

@@ -1,0 +1,31 @@
+"""Trajectory files: append-only JSON records under benchmarks/results.
+
+Every benchmark appends one record per run to its ``BENCH_*.json`` so
+the measured history survives across commits (the CI smoke jobs archive
+them as artifacts).  The read-append-write dance was copy-pasted across
+the benchmark modules; this is the one shared implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR
+
+
+def append_record(name: str, record: dict, results_dir: Path | None = None) -> Path:
+    """Append ``record`` to ``<results_dir>/<name>.json``; returns the path.
+
+    A ``date`` stamp is added when the record does not carry one, so
+    call sites only describe the measurement.
+    """
+    results_dir = results_dir or RESULTS_DIR
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / f"{name}.json"
+    trajectory = json.loads(path.read_text()) if path.exists() else []
+    record.setdefault("date", time.strftime("%Y-%m-%d %H:%M:%S"))
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return path

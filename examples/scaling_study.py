@@ -37,6 +37,11 @@ def main() -> None:
     dag, _ = proto.build_dag(dual, lists)
     print(f"DAG: {len(dag.nodes)} nodes, {dag.n_edges} edges")
 
+    # tree, lists, DAG and the distribution policy are built once and
+    # reused across every core count below: only the locality cuts (and
+    # the simulated run itself) differ between configurations
+    policy = FmmPolicy(balance="work", cost_model=cm)
+
     times = {}
     for localities in (1, 2, 4, 8, 16, 32):
         cores = localities * 32
@@ -46,7 +51,7 @@ def main() -> None:
             mode="phantom",
             runtime_config=cfg,
             cost_model=cm,
-            policy=FmmPolicy(balance="work", cost_model=cm),
+            policy=policy,
         )
         rep = ev.evaluate(src, w, tgt, dual=dual, lists=lists, dag=dag)
         times[cores] = rep.time
@@ -72,7 +77,7 @@ def main() -> None:
             mode="phantom",
             runtime_config=cfg,
             cost_model=cm,
-            policy=FmmPolicy(balance="work", cost_model=cm),
+            policy=policy,
         )
         out[prio] = ev.evaluate(src, w, tgt, dual=dual, lists=lists, dag=dag).time
     gain = out[False] / out[True] - 1

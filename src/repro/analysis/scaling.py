@@ -34,3 +34,39 @@ def scaling_table(times: dict[int, float], base_cores: int | None = None) -> lis
         {"cores": n, "time": times[n], "speedup": sp[n], "efficiency": eff[n]}
         for n in sorted(times)
     ]
+
+
+def shape_compare(
+    measured: dict[int, float], predicted: dict[int, float]
+) -> dict:
+    """Compare the *shape* of two scaling curves on common core counts.
+
+    Used to hold the real-parallel backend's measured wall-clock curve
+    against the simulator's Fig. 3 style prediction: absolute times are
+    incomparable (virtual cost model vs one machine's cores), but both
+    normalize to speedup-vs-base curves whose shapes should agree.
+    Returns the per-point speedups, their ratio, the maximum
+    ``|log(measured/predicted)|`` deviation, and whether each curve is
+    monotone non-decreasing in cores.
+    """
+    common = sorted(set(measured) & set(predicted))
+    sub_m = {n: measured[n] for n in common}
+    sub_p = {n: predicted[n] for n in common}
+    sp_m = speedup(sub_m)
+    sp_p = speedup(sub_p)
+    ratio = {n: sp_m[n] / sp_p[n] for n in common}
+    return {
+        "cores": common,
+        "measured_speedup": sp_m,
+        "predicted_speedup": sp_p,
+        "ratio": ratio,
+        "max_log_deviation": (
+            max(abs(float(np.log(r))) for r in ratio.values()) if common else 0.0
+        ),
+        "measured_monotone": all(
+            sp_m[a] <= sp_m[b] for a, b in zip(common, common[1:])
+        ),
+        "predicted_monotone": all(
+            sp_p[a] <= sp_p[b] for a, b in zip(common, common[1:])
+        ),
+    }

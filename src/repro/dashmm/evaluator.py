@@ -113,6 +113,7 @@ class DashmmEvaluator:
         self.sequential_edges = sequential_edges
         self.batch_edges = batch_edges
         self.theta = theta
+        self.eps = eps
         self.vectorized_setup = vectorized_setup
         # the shared factory fits each translation operator at most once
         # per process, no matter how many evaluators are constructed
@@ -174,6 +175,14 @@ class DashmmEvaluator:
         Prebuilt trees/lists/DAGs may be passed to amortize setup over
         repeated evaluations (the iterative use case of Section IV).
         """
+        if self.runtime_config.backend == "parallel":
+            # real-core execution: every worker process rebuilds the
+            # setup deterministically from the raw arrays, so prebuilt
+            # structures are not consumed here (the parent derives the
+            # identical ones for the report)
+            from repro.dashmm.parallel import evaluate_parallel
+
+            return evaluate_parallel(self, sources, weights, targets)
         if dual is None:
             dual = build_dual_tree(
                 sources,

@@ -1,0 +1,507 @@
+"""Real-parallel DASHMM evaluation: the worker body and entry point.
+
+``RuntimeConfig(backend="parallel")`` routes
+:meth:`~repro.dashmm.evaluator.DashmmEvaluator.evaluate` here.  The
+generic process/queue/shared-memory machinery lives in
+:mod:`repro.hpx.parallel`; this module supplies the DASHMM-specific
+pieces: what each locality process does, and how the evaluation DAG is
+partitioned, executed and made to produce potentials **bit-identical**
+to the simulator backend.
+
+Execution model - *replicated metadata, partitioned execution*:
+
+* Bulk data (source/target points, weights, the result vector) lives in
+  shared memory; each worker maps the same pages.
+* Every worker deterministically rebuilds the dual tree, interaction
+  lists, DAG and distribution from those arrays - setup is a pure
+  function of the inputs, so all ranks (and the parent) agree on node
+  ids, edge order and localities without shipping the structures.
+* Each worker allocates expansion LCOs only for *its* nodes and runs
+  the standard :class:`~repro.dashmm.registrar.Registrar` machinery on
+  them.  Remote out-edges leave as framed queue parcels through the
+  unchanged coalescing path; each parcel ships the source node's
+  expansion data, which the receiver mirrors so
+  ``Registrar._data_of`` works for remote sources.
+
+Why the result is bit-identical to the simulator:
+
+* LCO contributions fold at trigger time in canonical dedup-key order,
+  so fold order never depends on arrival order (PRs 4/5).
+* Every batched flush groups by a canonical key that *includes the
+  destination node's locality*, and an edge always executes at its
+  destination's locality - so the markers one worker accumulates are
+  exactly one locality-keyed simulator group, and the stacked GEMM
+  operands (hence the floats) match byte for byte.
+* The lazy bridge/downward cascade needs remote expansion data only at
+  flush time, which runs as a staged pipeline with deterministic
+  exchanges: dataflow quiescence, then M->I flush (M data already
+  mirrored), Is exchange, I->I flush, It exchange, I->L flush, a
+  per-level L->L loop (parent-L exchange before each level), a final-L
+  exchange for remote L->T reads, and the deferred leaf-output flush.
+  Exchange contents and barrier counts are derived from the replicated
+  DAG, identically on every rank.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import shutil
+import tempfile
+import traceback
+
+import numpy as np
+
+from repro.dashmm.registrar import Registrar
+from repro.hpx.parallel import (
+    LocalityRuntime,
+    ParallelError,
+    ParallelRuntime,
+    QueueChannel,
+    WorkerScheduler,
+    seed_worker_rngs,
+)
+from repro.hpx.scheduler import ScheduleFuzzer, Task, resolve_policy
+
+
+class ParallelRegistrar(Registrar):
+    """Registrar for one locality process.
+
+    Differences from the simulator registrar, all confined here:
+
+    * :meth:`allocate` creates LCOs only for this rank's nodes;
+    * :meth:`_data_of` falls back to the parcel/stage mirror for remote
+      nodes;
+    * ``_mp_localities`` restricts the batched leaf-multipole fit to
+      this rank's batches (the base keying already matches).
+    """
+
+    def __init__(self, rank: int, *args, **kwargs):
+        self._rank = rank
+        self._mirror: dict[int, object] = {}
+        super().__init__(*args, **kwargs)
+        self._mp_localities = {rank}
+
+    def _data_of(self, node_id: int):
+        lco = self.lcos.get(node_id)
+        if lco is not None:
+            return lco.data
+        return self._mirror[node_id]
+
+    def allocate(self) -> None:
+        from repro.dashmm.registrar import ExpansionLCO
+
+        for node in self.dag.nodes:
+            n_in = self.dag.in_degree[node.id]
+            if node.kind == "S" or n_in == 0 or node.locality != self._rank:
+                continue
+            lco = ExpansionLCO(self.runtime, node.locality, node, n_in, self)
+            self.lcos[node.id] = lco
+            lco.register_continuation(
+                Task(
+                    fn=self._continuation,
+                    args=(node.id,),
+                    op_class=f"edges:{node.kind}",
+                    priority=self._node_priority(node),
+                )
+            )
+
+
+def _stage_plan(dag, rank: int, n: int) -> dict:
+    """Deterministic exchange plan for the staged flush pipeline.
+
+    For each stage, which locally-owned expansion nodes this rank must
+    ship to which peers (source nodes of cross-locality lazy edges),
+    plus the global, rank-independent list of L->L parent levels (every
+    rank walks the same level sequence so the barrier counts line up).
+    """
+    nodes = dag.nodes
+    sends: dict[object, dict[int, set]] = {
+        "i2i": {}, "i2l": {}, "l2t": {}
+    }
+    l2l_levels: set[int] = set()
+    for edges in dag.out_edges:
+        for e in edges:
+            op = e.op
+            if op == "I2I":
+                stage: object = "i2i"
+            elif op == "I2L":
+                stage = "i2l"
+            elif op == "L2T":
+                stage = "l2t"
+            elif op == "L2L":
+                lvl = nodes[e.src].level
+                l2l_levels.add(lvl)
+                stage = ("l2l", lvl)
+                sends.setdefault(stage, {})
+            else:
+                continue
+            sloc, dloc = nodes[e.src].locality, nodes[e.dst].locality
+            if sloc == rank and dloc != rank:
+                sends[stage].setdefault(dloc, set()).add(e.src)
+    return {
+        "sends": {
+            k: {dst: sorted(v) for dst, v in m.items()}
+            for k, m in sends.items()
+        },
+        "l2l_levels": sorted(l2l_levels),
+    }
+
+
+class _WorkerBody:
+    """The evaluation loop of one locality process."""
+
+    def __init__(self, rank: int, n: int, spec: dict, manifest: dict, inboxes, parent_q):
+        self.rank = rank
+        self.n = n
+        self.spec = spec
+        self.inbox = inboxes[rank]
+        self.parent_q = parent_q
+        self.channel = QueueChannel(rank, inboxes)
+        self._stage_ends: dict[object, int] = {}
+        self._expected = 0
+        self._stopped = False
+        self._build(manifest)
+
+    # -- deterministic setup (untimed) -----------------------------------------
+    def _build(self, manifest) -> None:
+        from repro.dashmm.evaluator import DashmmEvaluator
+        from repro.hpx.gas import ShmArena
+        from repro.kernels.fitops import OperatorFactory
+        from repro.tree.dualtree import build_dual_tree
+
+        spec = self.spec
+        seed_worker_rngs(spec["seed"], self.rank)
+        self.arena = ShmArena.attach(manifest)
+        sources = self.arena.get("sources")
+        weights = self.arena.get("weights")
+        targets = self.arena.get("targets")
+
+        factory = OperatorFactory.shared(spec["kernel"], eps=spec["eps"])
+        if spec["factory_path"]:
+            factory.load(path=spec["factory_path"], strict=False)
+        ev = DashmmEvaluator(
+            spec["kernel"],
+            method=spec["method"],
+            threshold=spec["threshold"],
+            policy=spec["policy"],
+            runtime_config=spec["config"],
+            mode="numeric",
+            cost_model=spec["cost_model"],
+            size_model=spec["size_model"],
+            theta=spec["theta"],
+            eps=spec["eps"],
+            factory=factory,
+            vectorized_setup=spec["vectorized_setup"],
+        )
+        dual = build_dual_tree(
+            sources,
+            targets,
+            ev.threshold,
+            source_weights=weights,
+            vectorized=ev.vectorized_setup,
+        )
+        dag, _ = ev.build_dag(dual)
+        ev.policy.assign(dag, dual, self.n)
+
+        rcfg = ev._resolved_config()
+        policy = resolve_policy(rcfg.policy, rcfg.priorities)
+        driver = (
+            ScheduleFuzzer(rcfg.fuzz_schedule + self.rank)
+            if rcfg.fuzz_schedule is not None
+            else None
+        )
+        self.sched = WorkerScheduler(self.rank, policy, schedule_driver=driver)
+        lrt = LocalityRuntime(self.rank, self.n, self.sched)
+        self.reg = ParallelRegistrar(
+            self.rank,
+            lrt,
+            dag,
+            dual,
+            ev.kernel,
+            factory,
+            mode="numeric",
+            cost_model=ev.cost_model,
+            size_model=ev.size_model,
+            coalesce=True,
+            sequential_edges=True,
+            batch_edges=True,
+        )
+        # all ranks share the one result vector; each writes only the
+        # target-box slices of its own T nodes (disjoint by construction)
+        self.reg.result = self.arena.get("result")
+        self.reg.allocate()
+        self._expected = sum(
+            dag.in_degree[nid] for nid in self.reg.lcos
+        )
+        self.plan = _stage_plan(dag, self.rank, self.n)
+        from repro.hpx.parallel import ParallelContext
+
+        self.ctx = ParallelContext(self.sched, self._on_parcel)
+
+    # -- parcel egress ---------------------------------------------------------
+    def _on_parcel(self, parcel) -> None:
+        if parcel.action != "dashmm_edges":
+            raise ParallelError(
+                f"parallel backend cannot route action {parcel.action!r}"
+            )
+        node_id, positions = parcel.args
+        lco = self.reg.lcos.get(node_id)
+        data = lco.data if lco is not None else None
+        self.channel.send(
+            parcel.target_locality,
+            "edges",
+            (node_id, positions, parcel.priority, data),
+        )
+
+    # -- frame ingress ---------------------------------------------------------
+    def _drain(self, block: bool = False, timeout: float = 0.05) -> bool:
+        """Process one inbox message; False when none was available."""
+        try:
+            msg = self.inbox.get(block, timeout) if block else self.inbox.get_nowait()
+        except _queue.Empty:
+            return False
+        tag = msg[0]
+        if tag == "frame":
+            _, src, seq, kind, payload = msg
+            if self.channel.handle_frame(src, seq, kind):
+                self._dispatch(kind, payload)
+        elif tag == "ack":
+            self.channel.handle_ack(msg[2])
+        elif tag == "stop":
+            self._stopped = True
+        # "go" is consumed by run() before the loops start
+        return True
+
+    def _dispatch(self, kind: str, payload) -> None:
+        if kind == "edges":
+            node_id, positions, priority, data = payload
+            if data is not None:
+                self.reg._mirror[node_id] = data
+            self.sched.enqueue(
+                Task(
+                    fn=self.reg._edges_action,
+                    args=(self.rank, node_id, positions),
+                    op_class="parcel:edges",
+                    priority=priority,
+                ),
+                self.rank,
+            )
+        elif kind == "stage":
+            name, data = payload
+            self.reg._mirror.update(data)
+        elif kind == "stage_end":
+            self._stage_ends[payload] = self._stage_ends.get(payload, 0) + 1
+        else:  # pragma: no cover - defensive
+            raise ParallelError(f"unknown frame kind {kind!r}")
+
+    # -- dataflow phase --------------------------------------------------------
+    def _run_dataflow(self) -> None:
+        """Drive the DAG until local quiescence.
+
+        Local termination detection: this rank is done when every input
+        of every local LCO has been applied (``applied == expected``; an
+        arriving edge frame always applies at least one, so reaching the
+        total implies no frame is still in flight toward us), the ready
+        queues are empty, and all our outbound frames are acked.
+        """
+        self.reg.initial_tasks()
+        sched, ctx = self.sched, self.ctx
+        while (
+            sched.lco_sets_applied < self._expected
+            or sched.has_ready()
+            or self.channel.unacked
+        ):
+            while self._drain(block=False):
+                pass
+            task = sched.pop()
+            if task is not None:
+                task.fn(ctx, *task.args)
+            elif (
+                sched.lco_sets_applied < self._expected or self.channel.unacked
+            ):
+                self._drain(block=True, timeout=0.05)
+
+    # -- staged flush pipeline -------------------------------------------------
+    def _exchange(self, stage, send_map: dict) -> None:
+        """Ship stage data, then barrier on every peer's stage_end."""
+        for dst in sorted(send_map):
+            payload = {nid: self.reg._data_of(nid) for nid in send_map[dst]}
+            self.channel.send(dst, "stage", (stage, payload))
+        for dst in range(self.n):
+            if dst != self.rank:
+                self.channel.send(dst, "stage_end", stage)
+        while (
+            self._stage_ends.get(stage, 0) < self.n - 1
+            or self.channel.unacked
+        ):
+            self._drain(block=True, timeout=0.05)
+
+    def _run_flushes(self) -> None:
+        reg, plan = self.reg, self.plan
+        sends = plan["sends"]
+        if reg._lazy_m2i:
+            reg._flush_m2i()
+        if self.n > 1:
+            self._exchange("i2i", sends["i2i"])
+        if reg._lazy_i2i:
+            reg._flush_i2i()
+        if self.n > 1:
+            self._exchange("i2l", sends["i2l"])
+        if reg._lazy_i2l:
+            reg._flush_i2l()
+        by_level = dict(reg._l2l_by_level())
+        for level in plan["l2l_levels"]:
+            if self.n > 1:
+                self._exchange(("l2l", level), sends.get(("l2l", level), {}))
+            edges = by_level.get(level)
+            if edges:
+                reg._flush_l2l_level(level, edges)
+        if self.n > 1:
+            self._exchange("l2t", sends["l2t"])
+        reg.flush_deferred()
+
+    # -- protocol --------------------------------------------------------------
+    def run(self) -> None:
+        self.parent_q.put(("ready", self.rank))
+        while True:  # wait for GO (nothing else can arrive before it)
+            msg = self.inbox.get()
+            if msg[0] == "go":
+                break
+            if msg[0] == "stop":
+                self.arena.close()
+                return
+        self._run_dataflow()
+        self._run_flushes()
+        self.parent_q.put(("done", self.rank, self.stats()))
+        while not self._stopped:
+            self._drain(block=True, timeout=1.0)
+        self.arena.close()
+
+    def stats(self) -> dict:
+        return {
+            "rank": self.rank,
+            "tasks_run": self.sched.tasks_run,
+            "lco_sets": self.sched.lco_sets_applied,
+            "lcos": len(self.reg.lcos),
+            **self.channel.stats(),
+        }
+
+
+def _worker_main(rank: int, n: int, spec: dict, manifest: dict, inboxes, parent_q) -> None:
+    """Process entry point (module-level for spawn picklability)."""
+    try:
+        _WorkerBody(rank, n, spec, manifest, inboxes, parent_q).run()
+    except BaseException:
+        try:
+            parent_q.put(("error", rank, traceback.format_exc()))
+        finally:
+            raise
+
+
+def _validate(evaluator) -> None:
+    cfg = evaluator.runtime_config
+    if evaluator.mode != "numeric":
+        raise ValueError(
+            "backend='parallel' computes real potentials; phantom-mode "
+            "scaling studies run on the simulator backend"
+        )
+    for flag in ("coalesce", "sequential_edges", "batch_edges"):
+        if not getattr(evaluator, flag):
+            raise ValueError(
+                f"backend='parallel' requires {flag}=True (the ablation "
+                "paths are simulator-only)"
+            )
+    if cfg.replay_schedule is not None:
+        raise ValueError(
+            "schedule replay records simulator decisions; it cannot "
+            "drive the parallel backend"
+        )
+    if cfg.detect_hazards:
+        raise ValueError(
+            "the happens-before detector instruments the simulator's "
+            "virtual clock; run hazard detection on backend='sim'"
+        )
+
+
+def evaluate_parallel(evaluator, sources, weights, targets):
+    """Run one evaluation on real cores; returns an EvaluationReport.
+
+    Setup (trees, DAG, operator fits) is rebuilt deterministically in
+    every worker and excluded from the timed window, which spans GO to
+    the last worker's DONE.  The parent's fitted-operator cache is
+    handed to workers through a disk snapshot so fits warmed by a prior
+    simulator run are not refitted per rank.
+    """
+    from repro.dashmm.evaluator import EvaluationReport
+    from repro.hpx.tracing import Tracer
+    from repro.tree.dualtree import build_dual_tree
+
+    _validate(evaluator)
+    cfg = evaluator.runtime_config
+    sources = np.ascontiguousarray(sources, dtype=np.float64)
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    targets = np.ascontiguousarray(targets, dtype=np.float64)
+
+    # parent-side replica of the setup, for the report and the inverse
+    # permutation (identical to what every worker derives)
+    dual = build_dual_tree(
+        sources,
+        targets,
+        evaluator.threshold,
+        source_weights=weights,
+        vectorized=evaluator.vectorized_setup,
+    )
+    dag, lists = evaluator.build_dag(dual)
+    evaluator.policy.assign(dag, dual, cfg.n_localities)
+
+    tmpdir = tempfile.mkdtemp(prefix="hmmops_")
+    try:
+        factory_path = None
+        if evaluator.factory is not None:
+            factory_path = str(evaluator.factory.save(directory=tmpdir))
+        spec = {
+            "kernel": evaluator.kernel,
+            "method": evaluator.method,
+            "threshold": evaluator.threshold,
+            "policy": evaluator.policy,
+            "config": cfg,
+            "cost_model": evaluator.cost_model,
+            "size_model": evaluator.size_model,
+            "theta": evaluator.theta,
+            "eps": evaluator.eps,
+            "vectorized_setup": evaluator.vectorized_setup,
+            "factory_path": factory_path,
+            "seed": cfg.seed,
+        }
+        runtime = ParallelRuntime(
+            cfg.n_localities,
+            _worker_main,
+            spec,
+            arrays={"sources": sources, "weights": weights, "targets": targets},
+            outputs={"result": ((dual.target.n_points,), np.float64)},
+            start_method=cfg.start_method,
+        )
+        out = runtime.run()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    potentials = np.empty(dual.target.n_points)
+    potentials[dual.target.perm] = out["result"]
+    stats = {
+        "backend": "parallel",
+        "n_localities": cfg.n_localities,
+        "start_method": cfg.start_method,
+        "wall_time": runtime.wall_time,
+        "tasks": sum(w["tasks_run"] for w in runtime.worker_stats),
+        "workers": runtime.worker_stats,
+    }
+    return EvaluationReport(
+        potentials=potentials,
+        time=runtime.wall_time,
+        runtime_stats=stats,
+        tracer=Tracer(enabled=False),
+        dag=dag,
+        dual=dual,
+        lists=lists,
+        extras={"backend": "parallel"},
+    )

@@ -253,6 +253,9 @@ class Registrar:
         #: source box index -> multipole, all leaves fitted in one
         #: stacked pass per level (batched path, built on first S->M)
         self._s2m: dict[int, np.ndarray] | None = None
+        #: restrict _leaf_multipoles to these M-node localities (set by
+        #: the parallel backend to the worker's own rank); None = all
+        self._mp_localities: "set[int] | None" = None
         #: M->I / I->I / I->L / L->L edges whose value is pending bulk
         #: materialization (the exponential bridge and the downward
         #: shift are lazy end to end)
@@ -297,6 +300,17 @@ class Registrar:
                 dag, cost_model=self.cost, levels=pol.n_levels - 1
             )
         runtime.register_action("dashmm_edges", self._edges_action)
+
+    # -- expansion-data access ----------------------------------------------------
+    def _data_of(self, node_id: int):
+        """Expansion data of a node, wherever it lives.
+
+        In the simulator every LCO is in-process, so this is a plain
+        lookup.  The real-parallel backend overrides it: data of a
+        remote node comes from the mirror filled by arriving parcels
+        and staged flush exchanges (:mod:`repro.dashmm.parallel`).
+        """
+        return self.lcos[node_id].data
 
     # -- allocation (Fig. 2, t0/t1) ------------------------------------------------
     def allocate(self) -> None:
@@ -559,31 +573,31 @@ class Registrar:
             )
         if op == "M2M":
             h = self.dual.domain.box_size(src_node.level)
-            return self.factory.m2m(e.aux, h) @ self.lcos[e.src].data
+            return self.factory.m2m(e.aux, h) @ self._data_of(e.src)
         if op == "M2L":
             h = self.dual.domain.box_size(src_node.level)
-            return self.factory.m2l(e.aux, h) @ self.lcos[e.src].data
+            return self.factory.m2l(e.aux, h) @ self._data_of(e.src)
         if op == "M2I":
             h = self.dual.domain.box_size(src_node.level)
             dirs = {ee.aux[0] for ee in self.dag.out_edges[e.dst] if ee.op == "I2I"}
-            M = self.lcos[e.src].data
+            M = self._data_of(e.src)
             return {d: self.factory.m2i(d, h) @ M for d in dirs}
         if op == "I2I":
             d, delta = e.aux
             h = self.dual.domain.box_size(src_node.level)
-            W = self.lcos[e.src].data[d]
+            W = self._data_of(e.src)[d]
             return (d, W * self.factory.i2i(d, delta, h))
         if op == "I2L":
             h = self.dual.domain.box_size(src_node.level)
             acc = None
-            data = self.lcos[e.src].data or {}
+            data = self._data_of(e.src) or {}
             for d, V in sorted(data.items()):
                 c = self.factory.i2l(d, h) @ V
                 acc = c if acc is None else acc + c
             return acc if acc is not None else np.zeros(self.kernel.size, dtype=complex)
         if op == "L2L":
             h = self.dual.domain.box_size(src_node.level)
-            return self.factory.l2l(e.aux, h) @ self.lcos[e.src].data
+            return self.factory.l2l(e.aux, h) @ self._data_of(e.src)
         if op == "L2T":
             tbox = self.dual.target.boxes[dst_node.box_index]
             h = self.dual.domain.box_size(src_node.level)
@@ -591,7 +605,7 @@ class Registrar:
                 self.dual.target.points[tbox.start : tbox.stop]
                 - self._centers["target"][src_node.box_index]
             ) / h
-            return self.kernel.l2t(self.lcos[e.src].data, rel, h)
+            return self.kernel.l2t(self._data_of(e.src), rel, h)
         if op == "M2T":
             sbox = self.dual.source.boxes[src_node.box_index]
             tbox = self.dual.target.boxes[dst_node.box_index]
@@ -600,7 +614,7 @@ class Registrar:
                 self.dual.target.points[tbox.start : tbox.stop]
                 - self._centers["source"][sbox.index]
             ) / h
-            return self.kernel.m2t(self.lcos[e.src].data, rel, h)
+            return self.kernel.m2t(self._data_of(e.src), rel, h)
         raise ValueError(f"unknown edge op {op}")  # pragma: no cover - defensive
 
     def _run_edge(self, ctx, e) -> None:
@@ -657,17 +671,28 @@ class Registrar:
         the operator once for the whole wave (directions a node does
         not radiate into are computed and discarded - the FLOPs are
         negligible next to the saved memory traffic).
+
+        Groups are keyed by (source level, destination locality).  Every
+        edge executes at its destination node's locality, so adding the
+        locality makes each group exactly the set of markers one
+        real-parallel worker accumulates: the stacked operands - hence
+        the floating-point results - are bit-identical whether the flush
+        runs globally (simulator) or per worker (parallel backend).
+        The same keying applies to every flush below.
         """
         lazy, self._lazy_m2i = self._lazy_m2i, []
         lazy.sort(key=_marker_order)
         nodes, lcos = self._nodes, self.lcos
-        groups: dict[int, list] = {}
+        groups: dict[tuple, list] = {}
         for m in lazy:
-            groups.setdefault(nodes[m.edge.src].level, []).append(m.edge)
-        for level, grp in groups.items():
+            e = m.edge
+            groups.setdefault(
+                (nodes[e.src].level, nodes[e.dst].locality), []
+            ).append(e)
+        for (level, _), grp in groups.items():
             h = self.dual.domain.box_size(level)
             stack = self.factory.m2i_stack(_FULL_DIRS, h)
-            M = np.stack([lcos[e.src].data for e in grp])
+            M = np.stack([self._data_of(e.src) for e in grp])
             amps = M @ stack.T
             per = amps.shape[1] // len(_FULL_DIRS)
             for row, e in zip(amps, grp):
@@ -686,13 +711,15 @@ class Registrar:
         groups: dict[tuple, list] = {}
         for m in lazy:
             e = m.edge
-            groups.setdefault((e.aux[0], nodes[e.src].level), []).append(e)
-        for (d, level), grp in groups.items():
+            groups.setdefault(
+                (e.aux[0], nodes[e.src].level, nodes[e.dst].locality), []
+            ).append(e)
+        for (d, level, _), grp in groups.items():
             h = self.dual.domain.box_size(level)
             grp.sort(key=lambda e: e.dst)
             i2i = self.factory.i2i
             F = np.stack([i2i(d, e.aux[1], h) for e in grp])
-            W = np.stack([lcos[e.src].data[d] for e in grp])
+            W = np.stack([self._data_of(e.src)[d] for e in grp])
             amps = W * F
             starts = [
                 i for i in range(len(grp)) if i == 0 or grp[i].dst != grp[i - 1].dst
@@ -714,16 +741,19 @@ class Registrar:
         lazy, self._lazy_i2l = self._lazy_i2l, []
         lazy.sort(key=_marker_order)
         nodes, lcos = self._nodes, self.lcos
-        groups: dict[int, list] = {}
+        groups: dict[tuple, list] = {}
         for m in lazy:
-            groups.setdefault(nodes[m.edge.src].level, []).append(m.edge)
-        for level, grp in groups.items():
+            e = m.edge
+            groups.setdefault(
+                (nodes[e.src].level, nodes[e.dst].locality), []
+            ).append(e)
+        for (level, _), grp in groups.items():
             h = self.dual.domain.box_size(level)
             stack = self.factory.i2l_stack(_FULL_DIRS, h)
             nt = stack.shape[1] // len(_FULL_DIRS)
             V = np.zeros((len(grp), stack.shape[1]), dtype=complex)
             for i, e in enumerate(grp):
-                for d, amps in lcos[e.src].data.items():
+                for d, amps in self._data_of(e.src).items():
                     j = _DIR_IDX[d]
                     V[i, j * nt : (j + 1) * nt] = amps
             locs = V @ stack.T
@@ -740,22 +770,36 @@ class Registrar:
         its children consume it; within a level the edges sharing an
         octant operator run as one GEMM.
         """
+        for level, edges in self._l2l_by_level():
+            self._flush_l2l_level(level, edges)
+
+    def _l2l_by_level(self) -> list[tuple[int, list]]:
+        """Drain pending L->L markers into (level, edges) batches,
+        coarse levels first, edges in canonical marker order."""
         lazy, self._lazy_l2l = self._lazy_l2l, []
         lazy.sort(key=_marker_order)
-        nodes, lcos = self._nodes, self.lcos
-        by_level: dict[int, dict] = {}
+        nodes = self._nodes
+        by_level: dict[int, list] = {}
         for m in lazy:
-            e = m.edge
-            by_level.setdefault(nodes[e.src].level, {}).setdefault(e.aux, []).append(e)
-        for level in sorted(by_level):
-            h = self.dual.domain.box_size(level)
-            for octant, grp in by_level[level].items():
-                op = self.factory.l2l(octant, h)
-                P = np.stack([lcos[e.src].data for e in grp])
-                vals = P @ op.T
-                for row, e in zip(vals, grp):
-                    dst = lcos[e.dst]
-                    dst.data = row if dst.data is None else dst.data + row
+            by_level.setdefault(nodes[m.edge.src].level, []).append(m.edge)
+        return [(level, by_level[level]) for level in sorted(by_level)]
+
+    def _flush_l2l_level(self, level: int, edges) -> None:
+        """One downward-shift level: grouped GEMMs per (octant, dst
+        locality).  Split out so the parallel backend can interleave a
+        parent-data exchange barrier between levels."""
+        nodes, lcos = self._nodes, self.lcos
+        groups: dict[tuple, list] = {}
+        for e in edges:
+            groups.setdefault((e.aux, nodes[e.dst].locality), []).append(e)
+        h = self.dual.domain.box_size(level)
+        for (octant, _), grp in groups.items():
+            op = self.factory.l2l(octant, h)
+            P = np.stack([self._data_of(e.src) for e in grp])
+            vals = P @ op.T
+            for row, e in zip(vals, grp):
+                dst = lcos[e.dst]
+                dst.data = row if dst.data is None else dst.data + row
 
     def _flush_lazy(self, src_id: int) -> None:
         """Materialize pending lazy values before ``src_id``'s data is read.
@@ -793,16 +837,29 @@ class Registrar:
         leaves at a level share a single matrix build over their
         concatenated points, and per-leaf coefficients fall out of a
         segmented reduction of the charge-weighted rows.
+
+        Batches are keyed by (level, locality of the leaf's M node) -
+        the locality at which the S->M edge executes - so each batch is
+        exactly what one parallel worker fits; ``_mp_localities`` (set
+        by the parallel backend) restricts fitting to the worker's own
+        batches.  Leaves with no M node group under locality -1.
         """
         src = self.dual.source
         dom = self.dual.domain
         centers = self._centers["source"]
-        by_level: dict[int, list] = {}
+        m_index = self.dag.index.get("M", {})
+        dnodes = self.dag.nodes
+        only = self._mp_localities
+        by_level: dict[tuple, list] = {}
         for b in src.boxes:
             if b.is_leaf and b.count > 0:
-                by_level.setdefault(b.level, []).append(b)
+                mid = m_index.get(b.index)
+                loc = dnodes[mid].locality if mid is not None else -1
+                if only is not None and loc not in only:
+                    continue
+                by_level.setdefault((b.level, loc), []).append(b)
         out: dict[int, np.ndarray] = {}
-        for level, boxes in by_level.items():
+        for (level, _), boxes in by_level.items():
             h = dom.box_size(level)
             rel = (
                 np.concatenate(
@@ -935,16 +992,20 @@ class Registrar:
         # run order, which is timing/fault dependent
         self._deferred.sort(key=lambda e: (e.src, e.dst, e.op))
         groups: dict[object, list] = {}
+        dnodes = self.dag.nodes
         for e in self._deferred:
             op = e.op
+            # the destination locality rides in every key so the group
+            # compositions (and stacked operands) match between a global
+            # flush and the per-worker flushes of the parallel backend
             if op == "S2T":
-                key = (op, e.src)
+                key = (op, e.src, dnodes[e.dst].locality)
             else:  # M2T / L2T share the operator scale per source level
-                key = (op, self.dag.nodes[e.src].level)
+                key = (op, dnodes[e.src].level, dnodes[e.dst].locality)
             groups.setdefault(key, []).append(e)
         self._deferred = []
         nodes = self.dag.nodes
-        for (op, sub), group in groups.items():
+        for (op, sub, _), group in groups.items():
             tboxes = [tgt.boxes[nodes[e.dst].box_index] for e in group]
             pts = np.concatenate([tgt.points[b.start : b.stop] for b in tboxes])
             if op == "S2T":
@@ -958,7 +1019,7 @@ class Registrar:
                 h = dom.box_size(sub)
                 side = "source" if op == "M2T" else "target"
                 centers = self._centers[side][[nodes[e.src].box_index for e in group]]
-                coeffs = np.stack([self.lcos[e.src].data for e in group])
+                coeffs = np.stack([self._data_of(e.src) for e in group])
                 # which edge owns each concatenated point (small intp
                 # array; the per-point center/coefficient rows are
                 # gathered per chunk so every temporary stays

@@ -16,8 +16,11 @@ exactly the discipline DASHMM has to follow.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 
 @dataclass(frozen=True, order=True)
@@ -93,3 +96,229 @@ class GlobalAddressSpace:
     def _check(self, locality: int) -> None:
         if not (0 <= locality < self.n_localities):
             raise ValueError(f"locality {locality} out of range")
+
+
+# -- shared-memory GAS blocks (real-parallel backend) ----------------------------
+#
+# The real-parallel backend (repro.hpx.parallel) keeps the bulk data of
+# an evaluation - source/target points, weights, the result vector - in
+# POSIX shared memory so every locality process maps the same pages
+# instead of receiving pickled copies.  ShmArena is the small
+# allocator/registry the ISSUE calls for: the parent allocates named
+# blocks, ships a manifest (names + shapes + dtypes) to the workers,
+# and the workers attach read-write NumPy views.  Ownership is strict:
+# only the creating arena unlinks; attached arenas only close.  The
+# registry tracks every segment it created so tests can assert nothing
+# leaked into /dev/shm even after worker crashes.
+
+class ShmBlock:
+    """One named shared-memory segment viewed as a NumPy array."""
+
+    __slots__ = ("label", "name", "shape", "dtype", "_shm", "array", "_closed")
+
+    def __init__(self, label: str, shm, shape, dtype):
+        self.label = label
+        self.name = shm.name
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = shm
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+        self._closed = False
+
+    def close(self) -> None:
+        """Unmap the segment (idempotent; safe to call twice)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.array = None  # drop the exported buffer before unmapping
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner side; idempotent).
+
+        The arena owns segment lifetime outright (every register is
+        balanced by an immediate unregister, see ShmArena), so the name
+        is re-registered just before ``SharedMemory.unlink`` - which
+        unconditionally unregisters - to keep the shared tracker's
+        bookkeeping balanced across the process tree.
+        """
+        _tracker_register(self._shm)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            _tracker_unregister(self._shm)
+
+
+def _tracker_register(shm) -> None:
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift
+        pass
+
+
+def _tracker_unregister(shm) -> None:
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift
+        pass
+
+
+class _suppress_tracker:
+    """Keep ``SharedMemory`` construction out of the resource tracker.
+
+    On CPython <= 3.12 every construction - create *and* attach -
+    registers the segment with the process-tree-shared tracker daemon,
+    whose cache is a set: when the parent (create) and a worker (attach)
+    each register+unregister one name, interleaved messages collapse the
+    double-register and the second unregister raises a KeyError inside
+    the daemon.  Arena segments are cleaned up explicitly by the owner's
+    ``destroy()``, so the tracker is not wanted at all; suppressing the
+    register call at construction (the 3.13 ``track=False`` behaviour)
+    removes the race instead of racing to undo it.
+    """
+
+    def __enter__(self):
+        from multiprocessing import resource_tracker
+
+        self._mod = resource_tracker
+        self._orig = resource_tracker.register
+
+        def register(name, rtype, _orig=self._orig):
+            if rtype != "shared_memory":  # pragma: no cover - defensive
+                _orig(name, rtype)
+
+        resource_tracker.register = register
+        return self
+
+    def __exit__(self, *exc):
+        self._mod.register = self._orig
+        return False
+
+
+class ShmArena:
+    """Allocator/registry of shared-memory blocks for one evaluation.
+
+    Parent side::
+
+        arena = ShmArena()
+        arena.put("sources", sources)      # allocate + copy
+        arena.alloc("result", (n,), float) # zero-filled
+        spec = arena.manifest()            # picklable, ship to workers
+        ... run workers ...
+        arena.destroy()                    # close + unlink everything
+
+    Worker side::
+
+        arena = ShmArena.attach(spec)      # maps the same pages
+        pts = arena.get("sources")
+        ... work ...
+        arena.close()                      # unmap only; parent unlinks
+    """
+
+    def __init__(self, prefix: str = "hmmgas"):
+        self.prefix = prefix
+        self.owner = True
+        self._blocks: dict[str, ShmBlock] = {}
+        self._count = 0
+
+    # -- parent (owner) side ---------------------------------------------------
+    def alloc(self, label: str, shape, dtype=np.float64) -> np.ndarray:
+        """Allocate a zero-filled named block; returns the array view."""
+        from multiprocessing import shared_memory
+
+        if label in self._blocks:
+            raise ValueError(f"shm block {label!r} already allocated")
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
+        name = f"{self.prefix}_{os.getpid()}_{self._count}"
+        self._count += 1
+        # the arena owns cleanup (destroy()/unlink() in a finally), so
+        # the segment never enters the resource tracker
+        with _suppress_tracker():
+            shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        block = ShmBlock(label, shm, shape, dt)
+        self._blocks[label] = block
+        return block.array
+
+    def put(self, label: str, array: np.ndarray) -> np.ndarray:
+        """Allocate a block holding a copy of ``array``."""
+        view = self.alloc(label, array.shape, array.dtype)
+        view[...] = array
+        return view
+
+    def manifest(self) -> dict:
+        """Picklable description workers use to attach the same blocks.
+
+        Carries the creator pid for diagnostics (leak reports name the
+        owning process).
+        """
+        return {
+            "pid": os.getpid(),
+            "blocks": {
+                label: (b.name, b.shape, b.dtype.str)
+                for label, b in self._blocks.items()
+            },
+        }
+
+    # -- worker side -----------------------------------------------------------
+    @classmethod
+    def attach(cls, manifest: dict) -> "ShmArena":
+        """Attach to the blocks described by a parent's manifest.
+
+        Attachments stay out of the (process-tree-shared)
+        ``resource_tracker`` (see :class:`_suppress_tracker`): a worker
+        exiting would otherwise unlink segments the parent still owns
+        (and warn about "leaked" memory that is not leaked).  The owning
+        arena's explicit ``destroy()`` is the sole cleanup path.
+        """
+        from multiprocessing import shared_memory
+
+        arena = cls.__new__(cls)
+        arena.prefix = ""
+        arena.owner = False
+        arena._blocks = {}
+        arena._count = 0
+        with _suppress_tracker():
+            for label, (name, shape, dtype) in manifest["blocks"].items():
+                shm = shared_memory.SharedMemory(name=name)
+                arena._blocks[label] = ShmBlock(label, shm, shape, dtype)
+        return arena
+
+    # -- both sides ------------------------------------------------------------
+    def get(self, label: str) -> np.ndarray:
+        return self._blocks[label].array
+
+    def close(self) -> None:
+        """Unmap every block (idempotent)."""
+        for b in self._blocks.values():
+            b.close()
+
+    def unlink(self) -> None:
+        """Remove every segment name (owner only; idempotent)."""
+        if not self.owner:
+            raise ValueError("only the owning arena may unlink its segments")
+        for b in self._blocks.values():
+            b.unlink()
+
+    def destroy(self) -> None:
+        """Owner teardown: unmap and unlink everything."""
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    def segment_names(self) -> list[str]:
+        return [b.name for b in self._blocks.values()]
+
+    @staticmethod
+    def leaked(prefix: str = "hmmgas") -> list[str]:
+        """Names of segments with ``prefix`` still present in /dev/shm."""
+        try:
+            return sorted(
+                n for n in os.listdir("/dev/shm") if n.startswith(prefix)
+            )
+        except FileNotFoundError:  # pragma: no cover - non-Linux
+            return []

@@ -68,6 +68,25 @@ class RuntimeConfig:
     * ``detect_hazards`` - install the happens-before hazard detector
       (:mod:`repro.hpx.hazards`); reports are available as
       :attr:`Runtime.hazards`.
+
+    Execution backend selection:
+
+    * ``backend`` - ``"sim"`` (the default: the discrete-event
+      simulator in this module) or ``"parallel"`` (real OS processes,
+      one per locality, shared-memory GAS and framed queue parcels; see
+      :mod:`repro.hpx.parallel`).  The parallel backend is driven
+      through :class:`repro.dashmm.evaluator.DashmmEvaluator`, which
+      dispatches on this field; constructing a :class:`Runtime`
+      directly with ``backend="parallel"`` raises.
+    * ``seed`` - base seed for per-locality worker RNGs: locality
+      ``r`` seeds ``random``/NumPy with ``seed + r``, identical under
+      ``fork`` and ``spawn`` (seeding happens in the worker body, after
+      the start method ran).
+    * ``start_method`` - multiprocessing start method for the parallel
+      backend.  The default ``"spawn"`` is deliberate: fresh
+      interpreters cannot inherit the parent's BLAS thread pools, lazy
+      operator caches or RNG state, which keeps worker behaviour
+      reproducible and matches the documented RNG hygiene.
     """
 
     n_localities: int = 1
@@ -88,6 +107,17 @@ class RuntimeConfig:
     fuzz_schedule: int | None = None
     replay_schedule: "ScheduleTrace | str | None" = None
     detect_hazards: bool = False
+    backend: str = "sim"
+    seed: int = 12345
+    start_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("sim", "parallel"):
+            raise ValueError(
+                f"backend must be 'sim' or 'parallel', got {self.backend!r}"
+            )
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise ValueError(f"unknown start method {self.start_method!r}")
 
     @property
     def total_cores(self) -> int:
@@ -99,6 +129,12 @@ class Runtime:
 
     def __init__(self, config: RuntimeConfig | None = None):
         self.config = config or RuntimeConfig()
+        if self.config.backend != "sim":
+            raise ValueError(
+                "Runtime is the simulator engine; backend="
+                f"{self.config.backend!r} runs are dispatched by "
+                "DashmmEvaluator to repro.hpx.parallel.ParallelRuntime"
+            )
         self.gas = GlobalAddressSpace(self.config.n_localities)
         self.tracer = Tracer(enabled=self.config.tracing)
         # private copy of the network model: two runtimes built from one

@@ -179,6 +179,40 @@ class CriticalPathPolicy(SchedulingPolicy):
         return p if p < last else last
 
 
+def pick_level(queues, n_levels: int, interleave: int, burst: int, driver) -> tuple[int, int]:
+    """The ready-level rule shared by both execution backends.
+
+    Returns ``(level, new_burst)``: the index of the level to pop next
+    (-1 when every queue is empty) and the updated critical-pick burst
+    counter.  Without interleaving this is simply the most critical
+    non-empty level.  With it (critical-path policy), one filler task -
+    the last level holds the near-field stream - is interposed after
+    every ``interleave`` consecutive critical picks, so P2P work drains
+    under M2L bursts.  Under a schedule ``driver`` the choice is
+    schedule freedom: recorded by the fuzzer, consumed on replay.  The
+    simulator's per-worker deques and the real-parallel per-process
+    ready queues both route through here, so the two backends follow
+    one policy implementation.
+    """
+    first = -1
+    for i, d in enumerate(queues):
+        if d:
+            first = i
+            break
+    if first < 0:
+        return -1, burst
+    if interleave:
+        last = n_levels - 1
+        if first != last and queues[last]:
+            if driver is not None:
+                return driver.choose("interleave", [first, last]), burst
+            b = burst + 1
+            if b >= interleave:
+                return last, 0
+            return first, b
+    return first, burst
+
+
 #: policy registry for the string spellings accepted by RuntimeConfig
 POLICIES = {
     "stock": SchedulingPolicy,
@@ -635,35 +669,13 @@ class Scheduler:
         return None  # pragma: no cover - unreachable
 
     def _own_level(self, worker: int, mine) -> int:
-        """The level this worker pops from next (-1 when all are empty).
-
-        Without interleaving this is simply the most critical non-empty
-        level.  With it (critical-path policy), one filler task - the
-        last level holds the near-field stream - is interposed after
-        every ``interleave`` consecutive critical picks, so P2P work
-        drains under M2L bursts.  Under a schedule driver the choice is
-        schedule freedom: recorded by the fuzzer, consumed on replay.
-        """
-        first = -1
-        for i, d in enumerate(mine):
-            if d:
-                first = i
-                break
-        if first < 0:
-            return -1
-        k = self._interleave
-        if k:
-            last = self._n_levels - 1
-            if first != last and mine[last]:
-                drv = self.schedule_driver
-                if drv is not None:
-                    return drv.choose("interleave", [first, last])
-                b = self._burst[worker] + 1
-                if b >= k:
-                    self._burst[worker] = 0
-                    return last
-                self._burst[worker] = b
-        return first
+        """The level this worker pops from next (-1 when all are empty);
+        see :func:`pick_level` for the rule."""
+        lvl, self._burst[worker] = pick_level(
+            mine, self._n_levels, self._interleave,
+            self._burst[worker], self.schedule_driver,
+        )
+        return lvl
 
     def _go_idle(self, worker: int) -> None:
         if worker not in self._idle_set:

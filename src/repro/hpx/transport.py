@@ -59,6 +59,72 @@ class TransportError(RuntimeError):
         super().__init__(message + detail)
 
 
+class Framing:
+    """Sequence stamping, pending-until-ack and receiver dedup.
+
+    The exactly-once bookkeeping shared by every framed channel: the
+    simulated :class:`ReliableTransport` (retries over a lossy virtual
+    network) and the real-parallel queue channel
+    (:mod:`repro.hpx.parallel`), where OS queues are lossless but the
+    same pending/ack ledger provides the quiescence signal ("all my
+    frames were processed") and guards against duplicates.  One
+    instance serves both directions of one endpoint: it stamps and
+    tracks outgoing frames and dedups incoming ones ((src, seq) ids
+    never collide across endpoints).
+    """
+
+    __slots__ = ("_seq", "_pending", "_seen", "acks_sent", "dups_suppressed", "stale_acks")
+
+    def __init__(self):
+        self._seq = itertools.count()
+        self._pending: dict[Any, Any] = {}
+        self._seen: set[Any] = set()
+        self.acks_sent = 0
+        self.dups_suppressed = 0
+        self.stale_acks = 0
+
+    # -- sender side -------------------------------------------------------------
+    def stamp(self, src) -> tuple:
+        """A fresh (src, seq) frame id."""
+        return (src, next(self._seq))
+
+    def track(self, seq, state) -> None:
+        """Remember sender-side state until the frame is acked."""
+        self._pending[seq] = state
+
+    def is_pending(self, seq) -> bool:
+        return seq in self._pending
+
+    def ack(self, seq):
+        """Process an incoming ack; returns the tracked state (None if
+        stale - a duplicate ack or the ack of a retransmission)."""
+        state = self._pending.pop(seq, None)
+        if state is None:
+            self.stale_acks += 1
+        return state
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    # -- receiver side -----------------------------------------------------------
+    def receive(self, seq) -> bool:
+        """Dedup one arriving frame; True when it is fresh."""
+        if seq in self._seen:
+            self.dups_suppressed += 1
+            return False
+        self._seen.add(seq)
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "acks_sent": self.acks_sent,
+            "dups_suppressed": self.dups_suppressed,
+            "stale_acks": self.stale_acks,
+            "in_flight": len(self._pending),
+        }
+
+
 class _Event:
     """A cancellable scheduled callback (retry timers, arrivals, acks)."""
 
@@ -119,19 +185,14 @@ class ReliableTransport:
         self.backoff = backoff
         self.retry_limit = retry_limit
         self.ack_bytes = ack_bytes
-        self._seq = itertools.count()
-        self._pending: dict[Any, _Pending] = {}
-        self._seen: set[Any] = set()
+        self.framing = Framing()
         self.retries = 0
-        self.acks_sent = 0
-        self.dups_suppressed = 0
-        self.stale_acks = 0
 
     # -- sender side -------------------------------------------------------------
     def send(self, parcel, src: int, dst: int, t: float) -> None:
-        parcel.seq = (src, next(self._seq))
+        parcel.seq = self.framing.stamp(src)
         entry = _Pending(parcel, src, dst)
-        self._pending[parcel.seq] = entry
+        self.framing.track(parcel.seq, entry)
         self._transmit(entry, t)
 
     def _transmit(self, entry: _Pending, t: float) -> None:
@@ -154,7 +215,7 @@ class ReliableTransport:
         return (self.timeout + 2.0 * transfer) * (self.backoff**entry.attempts)
 
     def _on_timeout(self, entry: _Pending, t: float) -> None:
-        if entry.parcel.seq not in self._pending:
+        if not self.framing.is_pending(entry.parcel.seq):
             return  # acked between timer creation and firing
         if entry.attempts >= self.retry_limit:
             raise TransportError(
@@ -167,21 +228,17 @@ class ReliableTransport:
         self._transmit(entry, t)
 
     def _on_ack(self, seq, t: float) -> None:
-        entry = self._pending.pop(seq, None)
+        entry = self.framing.ack(seq)
         if entry is None:
-            self.stale_acks += 1  # duplicate ack, or ack of a retransmit
-            return
+            return  # duplicate ack, or ack of a retransmit (counted)
         if entry.timer is not None:
             entry.timer.cancelled = True
 
     # -- receiver side -----------------------------------------------------------
     def _on_receive(self, parcel, t: float) -> None:
         seq = parcel.seq
-        fresh = seq not in self._seen
-        if fresh:
-            self._seen.add(seq)
-        else:
-            self.dups_suppressed += 1
+        fresh = self.framing.receive(seq)
+        if not fresh:
             hz = getattr(self.scheduler, "hazards", None)
             if hz is not None:
                 hz.note_transport_dup(parcel)
@@ -192,7 +249,7 @@ class ReliableTransport:
 
     def _send_ack(self, parcel, t: float) -> None:
         sched = self.scheduler
-        self.acks_sent += 1
+        self.framing.acks_sent += 1
         seq = parcel.seq
         for ta in sched.network.delivery_times(
             parcel.target_locality, parcel.origin, t, self.ack_bytes
@@ -202,14 +259,19 @@ class ReliableTransport:
     # -- introspection -----------------------------------------------------------
     @property
     def in_flight(self) -> int:
-        return len(self._pending)
+        return self.framing.in_flight
+
+    @property
+    def acks_sent(self) -> int:
+        return self.framing.acks_sent
+
+    @property
+    def dups_suppressed(self) -> int:
+        return self.framing.dups_suppressed
+
+    @property
+    def stale_acks(self) -> int:
+        return self.framing.stale_acks
 
     def stats(self) -> dict:
-        return {
-            "reliable": True,
-            "retries": self.retries,
-            "acks_sent": self.acks_sent,
-            "dups_suppressed": self.dups_suppressed,
-            "stale_acks": self.stale_acks,
-            "in_flight": len(self._pending),
-        }
+        return {"reliable": True, "retries": self.retries, **self.framing.stats()}

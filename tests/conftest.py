@@ -7,7 +7,10 @@ Two opt-in markers keep the default ``pytest -x -q`` lane fast:
 
 * ``slow`` - long-running scaling/benchmark style tests;
 * ``fuzz`` - the full schedule-fuzz sweeps (>= 100 fuzzed schedules
-  per method; see ``test_schedule_fuzz.py``).
+  per method; see ``test_schedule_fuzz.py``);
+* ``parallel`` - tests that spawn real worker processes and shared
+  memory (the ``backend="parallel"`` lane; see ``test_realparallel.py``
+  and ``test_shm_gas.py``).
 
 Tests carrying either marker are skipped unless a ``-m`` expression
 selects markers explicitly (``pytest -m fuzz``, ``pytest -m "slow or
@@ -23,7 +26,7 @@ from repro.kernels.fitops import OperatorFactory
 from repro.kernels.laplace import LaplaceKernel
 from repro.kernels.yukawa import YukawaKernel
 
-OPT_IN_MARKERS = ("slow", "fuzz")
+OPT_IN_MARKERS = ("slow", "fuzz", "parallel")
 
 
 def pytest_collection_modifyitems(config, items):

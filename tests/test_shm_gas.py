@@ -1,0 +1,141 @@
+"""Shared-memory GAS lifecycle: attach, crash, double-close, no leaks.
+
+The arena's ownership discipline (owner creates and unlinks; workers
+attach and close; nothing is delegated to the resource tracker) has to
+hold up under the ugly paths too - a worker killed mid-run, close
+called twice, destroy after a crash.  Every test asserts /dev/shm ends
+clean.
+
+Marked ``parallel``: these spawn real processes (select with
+``pytest -m parallel``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.hpx.gas import ShmArena
+
+pytestmark = pytest.mark.parallel
+
+PREFIX = "hmmgastest"
+
+
+@pytest.fixture(autouse=True)
+def _clean_shm():
+    assert ShmArena.leaked(PREFIX) == [], "stale segments from a previous run"
+    yield
+    leaked = ShmArena.leaked(PREFIX)
+    for name in leaked:  # clean up so one failure does not cascade
+        try:
+            os.unlink(f"/dev/shm/{name}")
+        except OSError:
+            pass
+    assert leaked == []
+
+
+def test_alloc_put_roundtrip():
+    arena = ShmArena(prefix=PREFIX)
+    try:
+        a = arena.put("x", np.arange(10.0))
+        b = arena.alloc("y", (4, 3), np.float64)
+        assert np.array_equal(a, np.arange(10.0))
+        assert np.count_nonzero(b) == 0
+        b[1, 2] = 7.0
+        assert arena.get("y")[1, 2] == 7.0
+        m = arena.manifest()
+        assert set(m["blocks"]) == {"x", "y"}
+        assert m["pid"] == os.getpid()
+    finally:
+        arena.destroy()
+
+
+def _attach_and_write(manifest, q):
+    arena = ShmArena.attach(manifest)
+    arena.get("x")[0] = 42.0
+    q.put(float(arena.get("x")[1]))
+    arena.close()
+
+
+def test_cross_process_attach_shares_pages():
+    ctx = mp.get_context("spawn")
+    arena = ShmArena(prefix=PREFIX)
+    try:
+        arena.put("x", np.array([0.0, 3.5]))
+        q = ctx.Queue()
+        p = ctx.Process(target=_attach_and_write, args=(arena.manifest(), q))
+        p.start()
+        assert q.get(timeout=30.0) == 3.5  # child saw the parent's write
+        p.join(timeout=30.0)
+        assert p.exitcode == 0
+        assert arena.get("x")[0] == 42.0  # parent sees the child's write
+    finally:
+        arena.destroy()
+
+
+def _attach_and_crash(manifest):
+    ShmArena.attach(manifest)
+    os._exit(1)  # simulate a worker dying without any cleanup
+
+
+def test_worker_crash_leaves_owner_cleanup_intact():
+    ctx = mp.get_context("spawn")
+    arena = ShmArena(prefix=PREFIX)
+    try:
+        arena.put("x", np.zeros(8))
+        p = ctx.Process(target=_attach_and_crash, args=(arena.manifest(),))
+        p.start()
+        p.join(timeout=30.0)
+        assert p.exitcode == 1
+        # the crashed attacher must not have unlinked the owner's segment
+        assert arena.get("x").shape == (8,)
+        assert all(
+            os.path.exists(f"/dev/shm/{n}") for n in arena.segment_names()
+        )
+    finally:
+        arena.destroy()
+    assert ShmArena.leaked(PREFIX) == []
+
+
+def test_double_close_and_double_destroy_are_idempotent():
+    arena = ShmArena(prefix=PREFIX)
+    arena.put("x", np.zeros(4))
+    arena.close()
+    arena.close()
+    arena.destroy()
+    arena.destroy()  # second unlink hits FileNotFoundError internally
+    assert ShmArena.leaked(PREFIX) == []
+
+
+def test_attached_arena_cannot_unlink():
+    arena = ShmArena(prefix=PREFIX)
+    try:
+        arena.put("x", np.zeros(4))
+        worker_view = ShmArena.attach(arena.manifest())
+        with pytest.raises(ValueError, match="owning"):
+            worker_view.unlink()
+        worker_view.close()
+    finally:
+        arena.destroy()
+
+
+def test_duplicate_label_rejected():
+    arena = ShmArena(prefix=PREFIX)
+    try:
+        arena.alloc("x", (2,))
+        with pytest.raises(ValueError, match="already"):
+            arena.alloc("x", (2,))
+    finally:
+        arena.destroy()
+
+
+def test_leaked_reports_live_segments():
+    arena = ShmArena(prefix=PREFIX)
+    arena.put("x", np.zeros(2))
+    assert ShmArena.leaked(PREFIX) == arena.segment_names()
+    arena.destroy()
+    assert ShmArena.leaked(PREFIX) == []
