@@ -25,6 +25,22 @@ from repro.workloads.distributions import cube_points, random_charges, sphere_po
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: same opt-in discipline as tests/conftest.py: benchmarks that spawn
+#: real worker processes (``parallel``) or exercise the persistent
+#: evaluation service (``service``) are skipped unless a ``-m``
+#: expression selects them, keeping ``pytest benchmarks -q`` flat
+OPT_IN_MARKERS = ("slow", "fuzz", "parallel", "service")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        return  # an explicit marker expression overrides the default skip
+    for marker in OPT_IN_MARKERS:
+        skip = pytest.mark.skip(reason=f"{marker} test: select with -m {marker}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
+
 LARGE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "large"
 
 #: scaled problem sizes; the paper used 60M (cube) / 42M (sphere) per

@@ -59,6 +59,7 @@ def _kernel(name: str):
     return LaplaceKernel(P) if name == "laplace" else YukawaKernel(P, lam=2.0)
 
 
+@pytest.mark.parallel
 @pytest.mark.parametrize("geometry,kernel_name", WORKLOADS)
 def test_realparallel_scaling(geometry, kernel_name):
     src, w, tgt = _points(geometry)

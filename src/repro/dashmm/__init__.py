@@ -20,6 +20,7 @@ from repro.dashmm.distribution import (
     partition_points,
 )
 from repro.dashmm.evaluator import DashmmEvaluator, EvaluationReport
+from repro.dashmm.service import EvaluatorSession
 
 __all__ = [
     "DAG",
@@ -32,4 +33,5 @@ __all__ = [
     "partition_points",
     "DashmmEvaluator",
     "EvaluationReport",
+    "EvaluatorSession",
 ]

@@ -37,6 +37,11 @@ from repro.tree.morton import decode_morton
 NODE_KINDS = ("S", "M", "Is", "It", "L", "T")
 EDGE_OPS = ("S2T", "S2M", "M2M", "M2L", "M2I", "I2I", "I2L", "L2L", "L2T", "M2T", "S2L")
 
+#: Instrumentation for the persistent-evaluation layer: every from-scratch
+#: DAG assembly bumps this.  A warm-path submit that hits a DAG template
+#: must leave it untouched (asserted by the service tests).
+COUNTERS = {"assemblies": 0}
+
 #: direction labels indexed by 2*axis + (1 if the signed offset is
 #: non-positive), axis order z, x, y - mirrors assign_direction's
 #: tie-breaking exactly
@@ -280,9 +285,28 @@ def build_fmm_dag(
     vectorized: bool = True,
 ) -> DAG:
     """Build the explicit FMM DAG (basic 8-operator or advanced 11-operator)."""
+    COUNTERS["assemblies"] += 1
     if vectorized:
         return _build_fmm_dag_vectorized(dual, lists, advanced)
     return _build_fmm_dag_reference(dual, lists, advanced)
+
+
+def refresh_n_points(dag: DAG, dual: DualTree) -> None:
+    """Re-stamp per-node point counts from a (spliced) dual tree.
+
+    The structural DAG of a template is shape-keyed: node ids, edges and
+    operator bindings survive any perturbation that preserves the box
+    structure.  What does *not* survive are the S/T point counts (they
+    feed work estimates and parcel-size models), which this refreshes in
+    one pass without touching the wiring.
+    """
+    src_counts = dual.source.arrays.counts
+    tgt_counts = dual.target.arrays.counts
+    for node in dag.nodes:
+        if node.kind == "S":
+            node.n_points = int(src_counts[node.box_index])
+        elif node.kind == "T":
+            node.n_points = int(tgt_counts[node.box_index])
 
 
 def _build_fmm_dag_vectorized(dual: DualTree, lists: InteractionLists, advanced: bool) -> DAG:
@@ -533,6 +557,7 @@ def build_bh_dag(
     ``mac_pairs`` maps target leaf box index -> list of ("M2T"|"S2T",
     source box index) decisions from the MAC traversal.
     """
+    COUNTERS["assemblies"] += 1
     if vectorized:
         return _build_bh_dag_vectorized(dual, mac_pairs)
     return _build_bh_dag_reference(dual, mac_pairs)

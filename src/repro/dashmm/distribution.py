@@ -76,7 +76,7 @@ class DistributionPolicy:
             raise ValueError("balance must be 'count' or 'work'")
         self.balance = balance
         self.cost_model = cost_model
-        # last (dag, dual) -> cumulative per-point work; the cuts for any
+        # last fingerprint -> cumulative per-point work; the cuts for any
         # locality count derive from these in O(n_localities log n)
         self._work_cache: tuple | None = None
 
@@ -104,13 +104,19 @@ class DistributionPolicy:
         """Cumulative per-point work for both ensembles, cached.
 
         The edge sweep dominates ``assign``; a scaling study calls
-        ``assign`` once per locality count on the *same* DAG, so the
-        sweep is cached by (dag, dual) identity and only the cheap cut
-        search reruns.
+        ``assign`` once per locality count on the *same* DAG, and a
+        persistent session re-assigns after every tree splice.  The
+        cache keys on the *full* tree fingerprint (counts included) plus
+        the DAG's node/edge totals - a value key, not object identity -
+        so a spliced tree with shifted per-box counts can never reuse
+        stale locality cuts, while a same-distribution resubmit hits.
         """
+        from repro.tree.fingerprint import dual_full_fingerprint
+
+        key = (dual_full_fingerprint(dual), len(dag.nodes), dag.n_edges)
         cached = self._work_cache
-        if cached is not None and cached[0] is dag and cached[1] is dual:
-            return cached[2], cached[3]
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
 
         from repro.sim.costmodel import CostModel
 
@@ -139,7 +145,7 @@ class DistributionPolicy:
 
         src_cw = cumsum_for(dual.source, src_box_work)
         tgt_cw = cumsum_for(dual.target, tgt_box_work)
-        self._work_cache = (dag, dual, src_cw, tgt_cw)
+        self._work_cache = (key, src_cw, tgt_cw)
         return src_cw, tgt_cw
 
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 import queue as _queue
 import shutil
 import tempfile
+import time
 import traceback
 
 import numpy as np
@@ -179,7 +180,8 @@ class _WorkerBody:
         factory = OperatorFactory.shared(spec["kernel"], eps=spec["eps"])
         if spec["factory_path"]:
             factory.load(path=spec["factory_path"], strict=False)
-        ev = DashmmEvaluator(
+        self.factory = factory
+        self.ev = DashmmEvaluator(
             spec["kernel"],
             method=spec["method"],
             threshold=spec["threshold"],
@@ -193,16 +195,32 @@ class _WorkerBody:
             factory=factory,
             vectorized_setup=spec["vectorized_setup"],
         )
-        dual = build_dual_tree(
+        # a persistent session pins the root cube so trees of every
+        # round live in one coordinate frame (absent for single-shot)
+        self.dual = build_dual_tree(
             sources,
             targets,
-            ev.threshold,
+            self.ev.threshold,
             source_weights=weights,
-            vectorized=ev.vectorized_setup,
+            vectorized=self.ev.vectorized_setup,
+            domain=spec.get("domain"),
         )
-        dag, _ = ev.build_dag(dual)
-        ev.policy.assign(dag, dual, self.n)
+        self.dag, _ = self.ev.build_dag(self.dual)
+        self.ev.policy.assign(self.dag, self.dual, self.n)
+        # geometry-matrix cache shared by every registrar this body
+        # builds across rounds; only worth the memory when rounds repeat
+        self._geom_cache = {} if spec.get("persistent") else None
+        self._make_registrar(self.dual, self.dag)
 
+    def _make_registrar(self, dual, dag, centers: dict | None = None) -> None:
+        """(Re)build the per-round execution state over ``dual``/``dag``.
+
+        Called at setup and again whenever a round changes the node
+        distribution or the tree shape; the shared-memory arena, the
+        parcel channel, the operator factory and the geometry cache all
+        survive rebuilds.
+        """
+        ev = self.ev
         rcfg = ev._resolved_config()
         policy = resolve_policy(rcfg.policy, rcfg.priorities)
         driver = (
@@ -218,14 +236,20 @@ class _WorkerBody:
             dag,
             dual,
             ev.kernel,
-            factory,
+            self.factory,
             mode="numeric",
             cost_model=ev.cost_model,
             size_model=ev.size_model,
             coalesce=True,
             sequential_edges=True,
             batch_edges=True,
+            centers=centers,
         )
+        self.reg.geom_cache = self._geom_cache
+        # flush plans pay off exactly when rounds repeat; a rebuilt
+        # registrar starts with fresh plans, so a changed assignment
+        # can never replay stale group compositions
+        self.reg.plan_caching = self._geom_cache is not None
         # all ranks share the one result vector; each writes only the
         # target-box slices of its own T nodes (disjoint by construction)
         self.reg.result = self.arena.get("result")
@@ -237,6 +261,73 @@ class _WorkerBody:
         from repro.hpx.parallel import ParallelContext
 
         self.ctx = ParallelContext(self.sched, self._on_parcel)
+
+    # -- between-round state updates (persistent service) ----------------------
+    def _round_update(self, update: dict) -> None:
+        """Apply one round's input change; every rank derives the same
+        conclusion independently (replicated metadata, as at setup).
+
+        ``kind="weights"``: coordinates untouched - swap the charges
+        into the existing tree and rewind the LCO network.
+        ``kind="points"``: incrementally update the tree.  A preserved
+        shape with an unchanged node distribution rebinds the live
+        registrar; a shifted distribution or a changed shape rebuilds
+        the registrar (and, for a shape change, the lists/DAG) while
+        keeping the process, arena, factory and channel.
+        """
+        from repro.dashmm.dag import refresh_n_points
+        from repro.tree.fingerprint import dual_shape_fingerprint
+        from repro.tree.incremental import update_dual_tree
+
+        self.reg._mirror.clear()
+        self._stage_ends.clear()
+        self.sched.lco_sets_applied = 0
+        sources = self.arena.get("sources")
+        weights = self.arena.get("weights")
+        targets = self.arena.get("targets")
+        if update["kind"] == "weights":
+            self.dual.source.set_weights(weights)
+            self.reg.reset(zero_result=False)
+            return
+        old_shape = dual_shape_fingerprint(self.dual)
+        new_dual, _info = update_dual_tree(
+            self.dual,
+            sources,
+            targets,
+            source_weights=weights,
+            vectorized=self.ev.vectorized_setup,
+        )
+        cache = self._geom_cache
+        if cache:
+            # coordinate-derived matrices are stale; i2i translation
+            # stacks only depend on the DAG and survive a same-shape move
+            for k in list(cache):
+                if k[0] != "i2i":
+                    del cache[k]
+        if dual_shape_fingerprint(new_dual) == old_shape:
+            refresh_n_points(self.dag, new_dual)
+            old_locs = [nd.locality for nd in self.dag.nodes]
+            self.ev.policy.assign(self.dag, new_dual, self.n)
+            self.dual = new_dual
+            if [nd.locality for nd in self.dag.nodes] == old_locs:
+                self.reg.rebind(new_dual)
+                self.reg.reset(zero_result=False)
+            else:
+                # ownership moved: the local LCO set changes, so the
+                # network reallocates (box centers stay shape-valid).
+                # The surviving i2i stacks are keyed by locality and
+                # could alias a different group of the same size under
+                # the new cuts - drop them too.
+                if cache:
+                    cache.clear()
+                self._make_registrar(new_dual, self.dag, centers=self.reg._centers)
+            return
+        if cache:
+            cache.clear()
+        dag, _ = self.ev.build_dag(new_dual)
+        self.ev.policy.assign(dag, new_dual, self.n)
+        self.dual, self.dag = new_dual, dag
+        self._make_registrar(new_dual, dag)
 
     # -- parcel egress ---------------------------------------------------------
     def _on_parcel(self, parcel) -> None:
@@ -362,19 +453,37 @@ class _WorkerBody:
 
     # -- protocol --------------------------------------------------------------
     def run(self) -> None:
+        """READY, then rounds of GO -> evaluate -> DONE until STOP.
+
+        The single-shot runtime sends ``("go",)`` then ``("stop",)``; a
+        persistent service sends ``("go", update)`` per submission and
+        one final STOP.  Round boundaries are quiet by construction -
+        every exchange barriers on its acks, so no frame is in flight
+        when DONE is posted - which is what makes the per-round state
+        rewind in :meth:`_round_update` sufficient.
+        """
         self.parent_q.put(("ready", self.rank))
-        while True:  # wait for GO (nothing else can arrive before it)
-            msg = self.inbox.get()
-            if msg[0] == "go":
-                break
-            if msg[0] == "stop":
-                self.arena.close()
-                return
-        self._run_dataflow()
-        self._run_flushes()
-        self.parent_q.put(("done", self.rank, self.stats()))
         while not self._stopped:
-            self._drain(block=True, timeout=1.0)
+            msg = self.inbox.get()
+            tag = msg[0]
+            if tag == "stop":
+                break
+            if tag == "frame":  # stragglers between rounds (defensive)
+                _, src, seq, kind, payload = msg
+                if self.channel.handle_frame(src, seq, kind):
+                    self._dispatch(kind, payload)
+                continue
+            if tag == "ack":
+                self.channel.handle_ack(msg[2])
+                continue
+            if tag != "go":  # pragma: no cover - defensive
+                raise ParallelError(f"unexpected message {tag!r} between rounds")
+            update = msg[1] if len(msg) > 1 else None
+            if update is not None:
+                self._round_update(update)
+            self._run_dataflow()
+            self._run_flushes()
+            self.parent_q.put(("done", self.rank, self.stats()))
         self.arena.close()
 
     def stats(self) -> dict:
@@ -505,3 +614,217 @@ def evaluate_parallel(evaluator, sources, weights, targets):
         lists=lists,
         extras={"backend": "parallel"},
     )
+
+
+class PersistentParallelService:
+    """Parent half of the persistent parallel backend.
+
+    Where :func:`evaluate_parallel` spawns, runs one round and tears
+    everything down, this keeps the worker processes, their attached
+    shared-memory arena and each worker's rebuilt metadata (tree, DAG,
+    LCO network, operator and geometry caches) alive across
+    submissions.  A warm round costs one in-place array overwrite, one
+    GO/DONE handshake and the numeric work - no process spawn, no
+    operator refit, no tree carve.
+
+    The parent keeps its own tree replica (updated incrementally, like
+    every worker) purely for the inverse permutation that unsorts the
+    shared result vector.  Drive through
+    :class:`repro.dashmm.service.EvaluatorSession`, which owns the
+    shape/statistics bookkeeping.
+    """
+
+    def __init__(self, evaluator, domain, timeout: float = 600.0):
+        _validate(evaluator)
+        self.evaluator = evaluator
+        self.domain = domain
+        self.timeout = timeout
+        self.n = evaluator.runtime_config.n_localities
+        self.rounds = 0
+        self.round_stats: list = []
+        self._arena = None
+        self._procs: list = []
+        self._inboxes: list = []
+        self._parent_q = None
+        self._dual = None
+        self._n_src = self._n_tgt = None
+
+    def compatible(self, n_src: int, n_tgt: int) -> bool:
+        """Shm blocks are fixed-size: a changed N needs a respawn."""
+        return self._n_src == n_src and self._n_tgt == n_tgt
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self, sources, weights, targets):
+        """Spawn workers and run the cold round."""
+        import multiprocessing as mp
+
+        from repro.hpx.gas import ShmArena
+        from repro.hpx.parallel import _THREAD_ENV, await_workers
+        from repro.tree.dualtree import build_dual_tree
+
+        ev = self.evaluator
+        cfg = ev.runtime_config
+        sources = np.ascontiguousarray(sources, dtype=np.float64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        self._n_src, self._n_tgt = len(sources), len(targets)
+        self._dual = build_dual_tree(
+            sources,
+            targets,
+            ev.threshold,
+            source_weights=weights,
+            vectorized=ev.vectorized_setup,
+            domain=self.domain,
+        )
+
+        tmpdir = tempfile.mkdtemp(prefix="hmmops_")
+        ctx = mp.get_context(cfg.start_method)
+        arena = ShmArena()
+        try:
+            factory_path = None
+            if ev.factory is not None:
+                factory_path = str(ev.factory.save(directory=tmpdir))
+            spec = {
+                "kernel": ev.kernel,
+                "method": ev.method,
+                "threshold": ev.threshold,
+                "policy": ev.policy,
+                "config": cfg,
+                "cost_model": ev.cost_model,
+                "size_model": ev.size_model,
+                "theta": ev.theta,
+                "eps": ev.eps,
+                "vectorized_setup": ev.vectorized_setup,
+                "factory_path": factory_path,
+                "seed": cfg.seed,
+                "domain": self.domain,
+                "persistent": True,
+            }
+            arena.put("sources", sources)
+            arena.put("weights", weights)
+            arena.put("targets", targets)
+            arena.alloc("result", (self._n_tgt,), np.float64)
+            manifest = arena.manifest()
+            self._inboxes = [ctx.Queue() for _ in range(self.n)]
+            self._parent_q = ctx.Queue()
+            import os as _os
+
+            saved = {k: _os.environ.get(k) for k in _THREAD_ENV}
+            try:
+                _os.environ.update({k: "1" for k in _THREAD_ENV})
+                for rank in range(self.n):
+                    p = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            rank,
+                            self.n,
+                            spec,
+                            manifest,
+                            self._inboxes,
+                            self._parent_q,
+                        ),
+                        daemon=True,
+                    )
+                    p.start()
+                    self._procs.append(p)
+            finally:
+                for k, v in saved.items():
+                    if v is None:
+                        _os.environ.pop(k, None)
+                    else:
+                        _os.environ[k] = v
+            self._arena = arena
+            await_workers(
+                self._parent_q, self._procs, self.n, "ready", self.timeout
+            )
+        except BaseException:
+            self._arena = arena
+            self.close()
+            raise
+        finally:
+            # workers load the factory snapshot before reporting READY
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        out = self._round(None)
+        return out, self._round_info({"source": "built", "target": "built"})
+
+    def close(self) -> None:
+        """Stop workers and release the arena (idempotent)."""
+        for q in self._inboxes:
+            try:
+                q.put(("stop",))
+            except Exception:
+                pass
+        for p in self._procs:
+            p.join(timeout=10.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        self._procs = []
+        self._inboxes = []
+        if self._arena is not None:
+            self._arena.destroy()
+            self._arena = None
+
+    # -- rounds ------------------------------------------------------------------
+    def submit(self, sources, weights, targets):
+        """One warm round: overwrite inputs in place, GO, read result."""
+        from repro.tree.incremental import update_dual_tree
+
+        sources = np.ascontiguousarray(sources, dtype=np.float64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        shm_s = self._arena.get("sources")
+        shm_w = self._arena.get("weights")
+        shm_t = self._arena.get("targets")
+        same_geometry = np.array_equal(shm_s, sources) and np.array_equal(
+            shm_t, targets
+        )
+        # workers are blocked on their inboxes between rounds, so the
+        # parent owns the arena here and in-place writes are race-free
+        shm_w[:] = weights
+        if same_geometry:
+            self._dual.source.set_weights(weights)
+            info = {"source": "unchanged", "target": "unchanged"}
+            update = {"kind": "weights"}
+        else:
+            shm_s[:] = sources
+            shm_t[:] = targets
+            self._dual, info = update_dual_tree(
+                self._dual,
+                sources,
+                targets,
+                source_weights=weights,
+                vectorized=self.evaluator.vectorized_setup,
+            )
+            update = {"kind": "points"}
+        out = self._round(update)
+        return out, self._round_info(info)
+
+    def _round(self, update) -> np.ndarray:
+        from repro.hpx.parallel import await_workers
+
+        result = self._arena.get("result")
+        result[:] = 0.0  # flushes accumulate with +=
+        t0 = time.perf_counter()
+        msg = ("go",) if update is None else ("go", update)
+        for q in self._inboxes:
+            q.put(msg)
+        stats = await_workers(
+            self._parent_q, self._procs, self.n, "done", self.timeout
+        )
+        wall = time.perf_counter() - t0
+        self.rounds += 1
+        self.round_stats.append({"wall_time": wall, "workers": stats})
+        potentials = np.empty(self._n_tgt)
+        potentials[self._dual.target.perm] = result
+        return potentials
+
+    def _round_info(self, tree_info: dict) -> dict:
+        from repro.tree.fingerprint import dual_shape_fingerprint
+
+        return {
+            "tree": tree_info,
+            "shape": dual_shape_fingerprint(self._dual),
+            "wall_time": self.round_stats[-1]["wall_time"],
+        }

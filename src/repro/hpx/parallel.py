@@ -345,54 +345,63 @@ class ParallelRuntime:
             arena.destroy()
 
     def _await(self, parent_q, procs, expected: str) -> list:
-        """Collect one ``expected`` message per worker, rank-ordered."""
-        got: dict[int, object] = {}
-        deadline = time.monotonic() + self.timeout
-        while len(got) < self.n:
-            try:
-                msg = parent_q.get(timeout=1.0)
-            except _queue.Empty:
-                dead = [r for r, p in enumerate(procs) if not p.is_alive()]
-                if dead and not self._drain_errors(parent_q):
-                    hint = ""
-                    if expected == "ready":
-                        # the classic spawn trap: a script that calls
-                        # evaluate() at module top level is re-imported
-                        # by every worker, which tries to spawn again
-                        hint = (
-                            "; if this run was started from a script, make "
-                            "sure the evaluate() call is under an "
-                            "`if __name__ == \"__main__\":` guard (required "
-                            "by the spawn start method)"
-                        )
-                    raise ParallelError(
-                        f"worker(s) {dead} died without reporting "
-                        f"(while waiting for {expected!r}){hint}"
-                    )
-                if time.monotonic() > deadline:
-                    raise ParallelError(
-                        f"timed out waiting for {expected!r} "
-                        f"({len(got)}/{self.n} received)"
-                    )
-                continue
-            if msg[0] == "error":
-                raise ParallelError(
-                    f"worker {msg[1]} failed:\n{msg[2]}"
-                )
-            if msg[0] != expected:
-                raise ParallelError(
-                    f"protocol violation: expected {expected!r}, got {msg[0]!r}"
-                )
-            got[msg[1]] = msg[2] if len(msg) > 2 else None
-        return [got[r] for r in range(self.n)]
+        return await_workers(parent_q, procs, self.n, expected, self.timeout)
 
-    @staticmethod
-    def _drain_errors(parent_q) -> bool:
-        """Surface a queued error report, if any (raises); False if none."""
+
+def await_workers(parent_q, procs, n: int, expected: str, timeout: float) -> list:
+    """Collect one ``expected`` message per worker, rank-ordered.
+
+    Shared by the single-shot :class:`ParallelRuntime` and the
+    persistent service (:mod:`repro.dashmm.parallel`), which awaits a
+    DONE per round over the same queue protocol.
+    """
+    got: dict[int, object] = {}
+    deadline = time.monotonic() + timeout
+    while len(got) < n:
         try:
-            while True:
-                msg = parent_q.get_nowait()
-                if msg[0] == "error":
-                    raise ParallelError(f"worker {msg[1]} failed:\n{msg[2]}")
+            msg = parent_q.get(timeout=1.0)
         except _queue.Empty:
-            return False
+            dead = [r for r, p in enumerate(procs) if not p.is_alive()]
+            if dead and not _drain_errors(parent_q):
+                hint = ""
+                if expected == "ready":
+                    # the classic spawn trap: a script that calls
+                    # evaluate() at module top level is re-imported
+                    # by every worker, which tries to spawn again
+                    hint = (
+                        "; if this run was started from a script, make "
+                        "sure the evaluate() call is under an "
+                        "`if __name__ == \"__main__\":` guard (required "
+                        "by the spawn start method)"
+                    )
+                raise ParallelError(
+                    f"worker(s) {dead} died without reporting "
+                    f"(while waiting for {expected!r}){hint}"
+                )
+            if time.monotonic() > deadline:
+                raise ParallelError(
+                    f"timed out waiting for {expected!r} "
+                    f"({len(got)}/{n} received)"
+                )
+            continue
+        if msg[0] == "error":
+            raise ParallelError(
+                f"worker {msg[1]} failed:\n{msg[2]}"
+            )
+        if msg[0] != expected:
+            raise ParallelError(
+                f"protocol violation: expected {expected!r}, got {msg[0]!r}"
+            )
+        got[msg[1]] = msg[2] if len(msg) > 2 else None
+    return [got[r] for r in range(n)]
+
+
+def _drain_errors(parent_q) -> bool:
+    """Surface a queued error report, if any (raises); False if none."""
+    try:
+        while True:
+            msg = parent_q.get_nowait()
+            if msg[0] == "error":
+                raise ParallelError(f"worker {msg[1]} failed:\n{msg[2]}")
+    except _queue.Empty:
+        return False

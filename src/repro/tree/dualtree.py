@@ -32,6 +32,13 @@ from repro.tree.morton import MAX_LEVEL, decode_morton, encode_points
 #: unbounded recursion.
 DEEP_LEVEL = MAX_LEVEL
 
+#: Instrumentation for the persistent-evaluation layer: how many times a
+#: tree was carved from scratch and how many dirty subtrees were
+#: re-carved by the incremental path.  The warm-path guarantee of
+#: :class:`repro.dashmm.service.EvaluatorSession` - a repeat submit with
+#: an unchanged shape does *zero* carving - is asserted against these.
+COUNTERS = {"full_carves": 0, "subtree_carves": 0}
+
 
 @dataclass
 class TreeArrays:
@@ -125,6 +132,10 @@ class Tree:
     key_to_index: dict[int, int]
     levels: list[list[int]] = field(default_factory=list)
     threshold: int = 0
+    #: sorted deep Morton keys of the points; retained so the
+    #: incremental updater can diff a perturbed ensemble against the
+    #: exact key sequence this tree was carved from
+    deep_sorted: np.ndarray | None = field(default=None, repr=False, compare=False)
     _leaf_indices: np.ndarray | None = field(default=None, repr=False, compare=False)
     _arrays: TreeArrays | None = field(default=None, repr=False, compare=False)
 
@@ -370,6 +381,7 @@ def build_tree(
         weights_sorted = weights[perm]
 
     carve = _carve_vectorized if vectorized else _carve_reference
+    COUNTERS["full_carves"] += 1
     boxes, key_to_index, levels = carve(deep_sorted, n, threshold)
 
     return Tree(
@@ -381,6 +393,7 @@ def build_tree(
         key_to_index=key_to_index,
         levels=levels,
         threshold=threshold,
+        deep_sorted=deep_sorted,
     )
 
 
@@ -390,9 +403,17 @@ def build_dual_tree(
     threshold: int,
     source_weights: np.ndarray | None = None,
     vectorized: bool = True,
+    domain: Domain | None = None,
 ) -> DualTree:
-    """Build the dual tree over the common domain of both ensembles."""
-    domain = Domain.bounding(sources, targets)
+    """Build the dual tree over the common domain of both ensembles.
+
+    ``domain`` pins the root cube explicitly (a time-stepped session
+    carves every step against one fixed domain so box keys stay
+    comparable across steps); by default it is the bounding cube of the
+    two ensembles.
+    """
+    if domain is None:
+        domain = Domain.bounding(sources, targets)
     src = build_tree(
         sources, domain, threshold, weights=source_weights, vectorized=vectorized
     )

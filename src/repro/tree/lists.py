@@ -143,12 +143,19 @@ def canonicalize(lists: InteractionLists) -> InteractionLists:
     )
 
 
+#: Instrumentation for the persistent-evaluation layer: every from-scratch
+#: list construction bumps this; a warm-path submit with a template hit
+#: must leave it untouched (asserted by the service tests).
+COUNTERS = {"builds": 0}
+
+
 def build_lists(dual: DualTree, vectorized: bool = True) -> InteractionLists:
     """Construct L1-L4 for every target box of a dual tree.
 
     ``vectorized=False`` runs the per-box reference descent; both paths
     return identical, canonically ordered lists.
     """
+    COUNTERS["builds"] += 1
     if vectorized:
         return _build_lists_vectorized(dual)
     return canonicalize(build_lists_reference(dual))

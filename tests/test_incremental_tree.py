@@ -1,0 +1,139 @@
+"""Incremental tree maintenance: every update path must be value-identical
+to a cold build over the same (pinned) domain, and the cheap paths must
+do zero carving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tree.dualtree import COUNTERS, build_dual_tree, build_tree
+from repro.tree.fingerprint import (
+    dual_full_fingerprint,
+    dual_shape_fingerprint,
+    tree_shape_fingerprint,
+)
+from repro.tree.incremental import update_dual_tree, update_tree
+
+THRESHOLD = 25
+
+
+@pytest.fixture()
+def base():
+    rng = np.random.default_rng(11)
+    n = 900
+    src = rng.uniform(0.0, 1.0, (n, 3))
+    tgt = rng.uniform(0.0, 1.0, (n, 3))
+    w = rng.normal(size=n)
+    dual = build_dual_tree(src, tgt, THRESHOLD, source_weights=w)
+    return rng, src, tgt, w, dual
+
+
+def assert_tree_equal(a, b):
+    """Structural + numeric value identity (ids, ranges, point order)."""
+    assert len(a.boxes) == len(b.boxes)
+    for ba, bb in zip(a.boxes, b.boxes):
+        assert (ba.key, ba.level, ba.start, ba.stop) == (
+            bb.key,
+            bb.level,
+            bb.start,
+            bb.stop,
+        )
+        assert ba.parent == bb.parent
+        assert ba.children == bb.children
+        assert ba.index == bb.index
+    assert a.key_to_index == b.key_to_index
+    assert a.levels == b.levels
+    assert np.array_equal(a.perm, b.perm)
+    assert np.array_equal(a.points, b.points)
+    if a.weights is not None or b.weights is not None:
+        assert np.array_equal(a.weights, b.weights)
+
+
+def test_unchanged_when_only_weights_move(base):
+    rng, src, tgt, w, dual = base
+    before = dict(COUNTERS)
+    new, info = update_dual_tree(dual, src, tgt, source_weights=rng.normal(size=len(w)))
+    assert info == {"source": "unchanged", "target": "unchanged"}
+    assert dict(COUNTERS) == before  # zero carving
+    # box tables are shared outright, ids trivially stable
+    assert new.source.boxes is dual.source.boxes
+    assert dual_shape_fingerprint(new) == dual_shape_fingerprint(dual)
+
+
+def test_unchanged_under_subcell_jitter(base):
+    rng, src, tgt, w, dual = base
+    src2 = src + rng.normal(scale=1e-13, size=src.shape)
+    before = dict(COUNTERS)
+    new, info = update_dual_tree(dual, src2, tgt, source_weights=w)
+    assert info["source"] == "unchanged"
+    assert dict(COUNTERS) == before
+    assert np.array_equal(new.source.points, src2[new.source.perm])
+
+
+def test_splice_keeps_ids_and_matches_cold_build(base):
+    rng, src, tgt, w, dual = base
+    # move a handful of points slightly: keys shift but structure holds
+    src2 = src.copy()
+    idx = rng.choice(len(src), size=5, replace=False)
+    src2[idx] = np.clip(src2[idx] + rng.normal(scale=1e-3, size=(5, 3)), 0.0, 1.0)
+    before = dict(COUNTERS)
+    new, status = update_tree(dual.source, src2, weights=w)
+    assert status in ("unchanged", "spliced")
+    assert dict(COUNTERS) == before  # zero carving either way
+    # every box keeps its id
+    for old_b, new_b in zip(dual.source.boxes, new.boxes):
+        assert old_b.key == new_b.key and old_b.index == new_b.index
+    cold = build_tree(src2, dual.source.domain, THRESHOLD, weights=w)
+    assert_tree_equal(new, cold)
+    assert tree_shape_fingerprint(new) == tree_shape_fingerprint(cold)
+
+
+def test_recarve_matches_cold_build(base):
+    rng, src, tgt, w, dual = base
+    # move a third of the points a long way: structure must change
+    src2 = src.copy()
+    idx = rng.choice(len(src), size=len(src) // 3, replace=False)
+    src2[idx] = np.clip(src2[idx] + rng.normal(scale=0.3, size=(len(idx), 3)), 0.0, 1.0)
+    new, status = update_tree(dual.source, src2, weights=w)
+    cold = build_tree(src2, dual.source.domain, THRESHOLD, weights=w)
+    assert_tree_equal(new, cold)
+    if status == "recarved":
+        # the dirty walk must not have fallen back to a full carve
+        assert COUNTERS["subtree_carves"] > 0
+
+
+def test_rebuilt_on_size_change(base):
+    rng, src, tgt, w, dual = base
+    src2 = rng.uniform(0.0, 1.0, (len(src) + 10, 3))
+    new, status = update_tree(dual.source, src2)
+    assert status == "rebuilt"
+    cold = build_tree(src2, dual.source.domain, THRESHOLD)
+    assert_tree_equal(new, cold)
+
+
+def test_old_tree_never_mutated(base):
+    rng, src, tgt, w, dual = base
+    snapshot = [(b.key, b.start, b.stop, tuple(b.children)) for b in dual.source.boxes]
+    src2 = np.clip(src + rng.normal(scale=0.05, size=src.shape), 0.0, 1.0)
+    update_tree(dual.source, src2, weights=w)
+    after = [(b.key, b.start, b.stop, tuple(b.children)) for b in dual.source.boxes]
+    assert snapshot == after
+
+
+def test_fingerprints_track_counts(base):
+    rng, src, tgt, w, dual = base
+    src2 = src.copy()
+    idx = rng.choice(len(src), size=5, replace=False)
+    src2[idx] = np.clip(src2[idx] + rng.normal(scale=1e-3, size=(5, 3)), 0.0, 1.0)
+    new, status = update_dual_tree(dual, src2, tgt, source_weights=w)
+    if status["source"] in ("unchanged", "spliced"):
+        # the shape fingerprint (DAG-template key) ignores counts and
+        # must hold; the full one (work-bounds key) must move exactly
+        # when per-box counts moved
+        assert dual_shape_fingerprint(new) == dual_shape_fingerprint(dual)
+        counts_moved = not np.array_equal(
+            new.source.arrays.counts, dual.source.arrays.counts
+        )
+        full_moved = dual_full_fingerprint(new) != dual_full_fingerprint(dual)
+        assert full_moved == counts_moved

@@ -1,0 +1,233 @@
+"""EvaluatorSession: the persistent evaluation layer.
+
+The correctness bar is *bit-identity*: every ``submit()`` must return
+exactly the floats a cold-start evaluation of the same inputs would -
+on the warm repeat-shape path, after weights-only updates, after an
+incremental tree splice, and after a shape change.  On top of that the
+warm path must provably do zero structural work: the module counters in
+``repro.tree.dualtree``/``repro.tree.lists``/``repro.dashmm.dag``
+record every tree carve, interaction-list build and DAG assembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dashmm.dag as dag_mod
+import repro.tree.dualtree as dualtree_mod
+import repro.tree.lists as lists_mod
+from repro.dashmm import DashmmEvaluator, EvaluatorSession
+from repro.hpx.runtime import RuntimeConfig
+from repro.kernels.fitops import OperatorFactory
+from repro.kernels.laplace import LaplaceKernel
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return LaplaceKernel(5)
+
+
+@pytest.fixture(scope="module")
+def factory(kernel):
+    return OperatorFactory(kernel, eps=1e-4)
+
+
+@pytest.fixture()
+def evaluator(kernel, factory):
+    return DashmmEvaluator(
+        kernel,
+        method="fmm",
+        threshold=25,
+        runtime_config=RuntimeConfig(n_localities=3),
+        factory=factory,
+    )
+
+
+@pytest.fixture()
+def cloud():
+    rng = np.random.default_rng(5)
+    n = 700
+    return rng, rng.uniform(0, 1, (n, 3)), rng.normal(size=n)
+
+
+def _counters():
+    return (
+        dict(dualtree_mod.COUNTERS),
+        dict(lists_mod.COUNTERS),
+        dict(dag_mod.COUNTERS),
+    )
+
+
+def test_first_submit_matches_cold_evaluate(evaluator, cloud):
+    rng, pts, w = cloud
+    cold = evaluator.evaluate(pts, w, pts).potentials
+    with EvaluatorSession(evaluator) as sess:
+        assert np.array_equal(sess.submit(pts, w), cold)
+
+
+def test_warm_repeat_zero_structural_work(evaluator, cloud):
+    rng, pts, w = cloud
+    cold = evaluator.evaluate(pts, w, pts).potentials
+    with EvaluatorSession(evaluator) as sess:
+        first = sess.submit(pts, w)
+        trees, lists, dags = _counters()  # snapshot AFTER the cold paths
+        for _ in range(3):
+            warm = sess.submit(pts, w)
+            assert np.array_equal(warm, cold)
+        assert np.array_equal(first, cold)
+        # zero tree carving, zero list builds, zero DAG assemblies
+        assert _counters() == (trees, lists, dags)
+        assert sess.stats["template_hits"] == 3
+        assert sess.stats["template_misses"] == 1
+
+
+def test_weights_only_update(evaluator, cloud):
+    rng, pts, w = cloud
+    w2 = rng.normal(size=len(w))
+    cold = evaluator.evaluate(pts, w2, pts).potentials
+    with EvaluatorSession(evaluator) as sess:
+        sess.submit(pts, w)
+        trees, lists, dags = _counters()
+        assert np.array_equal(sess.submit(pts, w2), cold)
+        assert _counters() == (trees, lists, dags)
+        assert sess.stats["tree_updates"][-1]["source"] == "unchanged"
+
+
+def test_incremental_move_bit_identical(evaluator, cloud):
+    rng, pts, w = cloud
+    # move <=1% of the points slightly, staying inside the pinned domain
+    pts2 = pts.copy()
+    idx = rng.choice(len(pts), size=len(pts) // 100, replace=False)
+    pts2[idx] = np.clip(
+        pts2[idx] + rng.normal(scale=1e-3, size=(len(idx), 3)), pts.min(), pts.max()
+    )
+    with EvaluatorSession(evaluator) as sess:
+        sess.submit(pts, w)
+        warm = sess.submit(pts2, w)
+        info = sess.stats["tree_updates"][-1]
+        assert info["source"] in ("unchanged", "spliced")
+        # a cold-start session over the same pinned frame is the reference
+        with EvaluatorSession(evaluator, domain=sess.domain) as cold_sess:
+            assert np.array_equal(warm, cold_sess.submit(pts2, w))
+
+
+def test_shape_change_then_return_hits_template(evaluator, cloud):
+    rng, pts, w = cloud
+    # shrink the cloud into a subcube: denser cells force deeper
+    # refinement, so the tree *shape* changes (uniform jitter would not)
+    pts2 = 0.4 * pts + 0.1
+    with EvaluatorSession(evaluator) as sess:
+        sess.submit(pts, w)
+        misses0 = sess.stats["template_misses"]
+        out2 = sess.submit(pts2, w)
+        assert sess.stats["template_misses"] == misses0 + 1
+        with EvaluatorSession(evaluator, domain=sess.domain) as cold_sess:
+            assert np.array_equal(out2, cold_sess.submit(pts2, w))
+        # returning to the original geometry re-hits the cached template
+        hits0 = sess.stats["template_hits"]
+        sess.submit(pts, w)
+        assert sess.stats["template_hits"] == hits0 + 1
+        assert sess.stats["template_misses"] == misses0 + 1
+
+
+def test_factory_stats_accumulate_across_submits(evaluator, cloud):
+    rng, pts, w = cloud
+    factory = evaluator.factory
+    with EvaluatorSession(evaluator) as sess:
+        sess.submit(pts, w)
+        stats1 = factory.cache_stats()
+        sess.submit(pts, w)
+        sess.submit(pts, rng.normal(size=len(w)))
+        stats2 = factory.cache_stats()
+        # persistent across submits: hits keep growing, never reset...
+        assert stats2["hits"] > stats1["hits"]
+        # ...and the warm path refits nothing
+        assert stats2["misses"] == stats1["misses"]
+        # a shape change re-fits at most the operators of genuinely new
+        # (op, geometry) signatures - and the *template* misses exactly once
+        misses_before = sess.stats["template_misses"]
+        pts2 = 0.4 * pts + 0.1  # shrink: forces a genuine shape change
+        sess.submit(pts2, w)
+        assert sess.stats["template_misses"] == misses_before + 1
+        sess.submit(pts2, w)
+        assert sess.stats["template_misses"] == misses_before + 1
+
+
+def test_submit_many_coalesces_and_preserves_order(evaluator, cloud):
+    rng, pts, w = cloud
+    ptsB = rng.uniform(0, 1, pts.shape)
+    w2 = rng.normal(size=len(w))
+    with EvaluatorSession(evaluator) as sess:
+        refA1 = sess.submit(pts, w)
+        refB = sess.submit(ptsB, w)
+        refA2 = sess.submit(pts, w2)
+    with EvaluatorSession(evaluator) as sess:
+        # interleaved geometries: the batcher groups A, A then B
+        out = sess.submit_many([(pts, w), (ptsB, w), (pts, w2)])
+        assert np.array_equal(out[0], refA1)
+        assert np.array_equal(out[2], refA2)
+        assert np.allclose(out[1], refB)
+
+
+def test_barnes_hut_session(kernel, factory, cloud):
+    rng, pts, w = cloud
+    ev = DashmmEvaluator(
+        kernel,
+        method="bh",
+        threshold=25,
+        theta=0.5,
+        runtime_config=RuntimeConfig(n_localities=2),
+        factory=factory,
+    )
+    cold = ev.evaluate(pts, w, pts).potentials
+    with EvaluatorSession(ev) as sess:
+        assert np.array_equal(sess.submit(pts, w), cold)
+        assert np.array_equal(sess.submit(pts, w), cold)
+
+
+def test_session_rejects_phantom_mode(kernel):
+    ev = DashmmEvaluator(kernel, mode="phantom")
+    with pytest.raises(ValueError):
+        EvaluatorSession(ev)
+
+
+@pytest.mark.parallel
+def test_parallel_session_bit_identical():
+    rng = np.random.default_rng(7)
+    n = 350
+    pts = rng.random((n, 3))
+    w = rng.random(n)
+    kern = LaplaceKernel(4)
+    fac = OperatorFactory(kern, eps=1e-4)
+    ev_par = DashmmEvaluator(
+        kern,
+        method="fmm",
+        threshold=20,
+        runtime_config=RuntimeConfig(
+            backend="parallel", n_localities=2, start_method="spawn"
+        ),
+        factory=fac,
+    )
+    ev_sim = DashmmEvaluator(
+        kern,
+        method="fmm",
+        threshold=20,
+        runtime_config=RuntimeConfig(n_localities=2),
+        factory=fac,
+    )
+    cold = ev_par.evaluate(pts, w, pts).potentials
+    with EvaluatorSession(ev_par) as sess, EvaluatorSession(ev_sim) as sim:
+        # cold + warm repeat: workers persist, result matches a cold run
+        assert np.array_equal(sess.submit(pts, w), cold)
+        assert np.array_equal(sess.submit(pts, w), cold)
+        assert np.array_equal(sim.submit(pts, w), cold)
+        # weights-only and incremental-move rounds against the sim session
+        w2 = rng.random(n)
+        assert np.array_equal(sess.submit(pts, w2), sim.submit(pts, w2))
+        pts2 = pts.copy()
+        idx = rng.choice(n, size=4, replace=False)
+        pts2[idx] = np.clip(
+            pts2[idx] + rng.normal(scale=1e-3, size=(4, 3)), pts.min(), pts.max()
+        )
+        assert np.array_equal(sess.submit(pts2, w2), sim.submit(pts2, w2))
