@@ -219,8 +219,14 @@ class DashmmEvaluator:
             potentials = np.empty(dual.target.n_points)
             potentials[dual.target.perm] = reg.result
         extras: dict[str, Any] = {
-            "untriggered": sum(1 for l in reg.lcos.values() if not l.triggered)
+            "untriggered": sum(1 for l in reg.lcos.values() if not l.triggered),
+            # the live runtime and registrar, so a checkpointed
+            # evaluation can be rewound and resumed (see resume())
+            "runtime": runtime,
+            "registrar": reg,
         }
+        if runtime.checkpoints:
+            extras["checkpoints"] = runtime.checkpoints
         if runtime.hazard_detector is not None:
             extras["hazards"] = runtime.hazards
         trace = runtime.schedule_trace
@@ -234,5 +240,46 @@ class DashmmEvaluator:
             dag=dag,
             dual=dual,
             lists=lists,
+            extras=extras,
+        )
+
+    def resume(self, report: EvaluationReport, checkpoint) -> EvaluationReport:
+        """Rewind a checkpointed evaluation and drive it to completion.
+
+        ``report`` must come from :meth:`evaluate` on the sim backend
+        with ``RuntimeConfig(checkpoint_every=...)`` set (or with an
+        abort checkpoint in hand); ``checkpoint`` is one of
+        ``report.extras["checkpoints"]`` or the ``exc.checkpoint`` a
+        structured abort attached.  The resumed evaluation is
+        bit-identical - potentials and virtual clock - to one that was
+        never interrupted, which is the fail-safe restart story: a run
+        killed at any checkpoint loses only the work since the last
+        capture, never its correctness.
+        """
+        runtime = report.extras["runtime"]
+        reg = report.extras["registrar"]
+        runtime.restore(checkpoint)
+        t = runtime.run()
+        potentials = None
+        if self.mode == "numeric":
+            reg.flush_deferred()
+            potentials = np.empty(report.dual.target.n_points)
+            potentials[report.dual.target.perm] = reg.result
+        extras: dict[str, Any] = {
+            "untriggered": sum(1 for l in reg.lcos.values() if not l.triggered),
+            "runtime": runtime,
+            "registrar": reg,
+            "resumed_from": checkpoint.time,
+        }
+        if runtime.checkpoints:
+            extras["checkpoints"] = runtime.checkpoints
+        return EvaluationReport(
+            potentials=potentials,
+            time=t,
+            runtime_stats=runtime.stats(),
+            tracer=runtime.tracer,
+            dag=report.dag,
+            dual=report.dual,
+            lists=report.lists,
             extras=extras,
         )

@@ -634,13 +634,17 @@ class PersistentParallelService:
     shape/statistics bookkeeping.
     """
 
-    def __init__(self, evaluator, domain, timeout: float = 600.0):
+    def __init__(
+        self, evaluator, domain, timeout: float = 600.0, max_respawns: int = 1
+    ):
         _validate(evaluator)
         self.evaluator = evaluator
         self.domain = domain
         self.timeout = timeout
+        self.max_respawns = max_respawns
         self.n = evaluator.runtime_config.n_localities
         self.rounds = 0
+        self.respawns = 0
         self.round_stats: list = []
         self._arena = None
         self._procs: list = []
@@ -648,6 +652,14 @@ class PersistentParallelService:
         self._parent_q = None
         self._dual = None
         self._n_src = self._n_tgt = None
+        # per-round re-drive state: the worker spec and arena manifest
+        # are kept for the life of the service so a failed round can be
+        # re-driven on respawned workers (they rebuild deterministically
+        # from the live arena arrays)
+        self._spec = None
+        self._manifest = None
+        self._tmpdir = None
+        self._failed: BaseException | None = None
 
     def compatible(self, n_src: int, n_tgt: int) -> bool:
         """Shm blocks are fixed-size: a changed N needs a respawn."""
@@ -677,14 +689,15 @@ class PersistentParallelService:
             domain=self.domain,
         )
 
-        tmpdir = tempfile.mkdtemp(prefix="hmmops_")
-        ctx = mp.get_context(cfg.start_method)
+        # the snapshot directory outlives the cold spawn: respawned
+        # workers reload the same operator fits after a mid-round fault
+        self._tmpdir = tempfile.mkdtemp(prefix="hmmops_")
         arena = ShmArena()
         try:
             factory_path = None
             if ev.factory is not None:
-                factory_path = str(ev.factory.save(directory=tmpdir))
-            spec = {
+                factory_path = str(ev.factory.save(directory=self._tmpdir))
+            self._spec = {
                 "kernel": ev.kernel,
                 "method": ev.method,
                 "threshold": ev.threshold,
@@ -704,48 +717,69 @@ class PersistentParallelService:
             arena.put("weights", weights)
             arena.put("targets", targets)
             arena.alloc("result", (self._n_tgt,), np.float64)
-            manifest = arena.manifest()
-            self._inboxes = [ctx.Queue() for _ in range(self.n)]
-            self._parent_q = ctx.Queue()
-            import os as _os
-
-            saved = {k: _os.environ.get(k) for k in _THREAD_ENV}
-            try:
-                _os.environ.update({k: "1" for k in _THREAD_ENV})
-                for rank in range(self.n):
-                    p = ctx.Process(
-                        target=_worker_main,
-                        args=(
-                            rank,
-                            self.n,
-                            spec,
-                            manifest,
-                            self._inboxes,
-                            self._parent_q,
-                        ),
-                        daemon=True,
-                    )
-                    p.start()
-                    self._procs.append(p)
-            finally:
-                for k, v in saved.items():
-                    if v is None:
-                        _os.environ.pop(k, None)
-                    else:
-                        _os.environ[k] = v
+            self._manifest = arena.manifest()
             self._arena = arena
-            await_workers(
-                self._parent_q, self._procs, self.n, "ready", self.timeout
-            )
+            self._spawn_workers()
         except BaseException:
             self._arena = arena
             self.close()
             raise
-        finally:
-            # workers load the factory snapshot before reporting READY
-            shutil.rmtree(tmpdir, ignore_errors=True)
         out = self._round(None)
         return out, self._round_info({"source": "built", "target": "built"})
+
+    def _spawn_workers(self) -> None:
+        """Bring up a fresh worker fleet from the retained spec/manifest.
+
+        Used for the cold start and again by :meth:`_respawn` after a
+        mid-round fault.  Fresh inboxes and parent queue are created
+        each time so stale messages from a failed round (a DONE from a
+        rank that finished before a sibling died, or a queued error
+        report) can never be mistaken for this fleet's traffic.
+        """
+        import multiprocessing as mp
+        import os as _os
+
+        from repro.hpx.parallel import _THREAD_ENV, await_workers
+
+        ctx = mp.get_context(self.evaluator.runtime_config.start_method)
+        self._inboxes = [ctx.Queue() for _ in range(self.n)]
+        self._parent_q = ctx.Queue()
+        self._procs = []
+        saved = {k: _os.environ.get(k) for k in _THREAD_ENV}
+        try:
+            _os.environ.update({k: "1" for k in _THREAD_ENV})
+            for rank in range(self.n):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        rank,
+                        self.n,
+                        self._spec,
+                        self._manifest,
+                        self._inboxes,
+                        self._parent_q,
+                    ),
+                    daemon=True,
+                )
+                p.start()
+                self._procs.append(p)
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    _os.environ.pop(k, None)
+                else:
+                    _os.environ[k] = v
+        await_workers(self._parent_q, self._procs, self.n, "ready", self.timeout)
+
+    def _respawn(self) -> None:
+        """Kill any surviving workers and spawn a replacement fleet."""
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+        for p in self._procs:
+            p.join(timeout=5.0)
+        self._spawn_workers()
+        self.respawns += 1
 
     def close(self) -> None:
         """Stop workers and release the arena (idempotent)."""
@@ -765,12 +799,16 @@ class PersistentParallelService:
         if self._arena is not None:
             self._arena.destroy()
             self._arena = None
+        if self._tmpdir is not None:
+            shutil.rmtree(self._tmpdir, ignore_errors=True)
+            self._tmpdir = None
 
     # -- rounds ------------------------------------------------------------------
     def submit(self, sources, weights, targets):
         """One warm round: overwrite inputs in place, GO, read result."""
         from repro.tree.incremental import update_dual_tree
 
+        self._check_usable()
         sources = np.ascontiguousarray(sources, dtype=np.float64)
         weights = np.ascontiguousarray(weights, dtype=np.float64)
         targets = np.ascontiguousarray(targets, dtype=np.float64)
@@ -801,21 +839,71 @@ class PersistentParallelService:
         out = self._round(update)
         return out, self._round_info(info)
 
-    def _round(self, update) -> np.ndarray:
-        from repro.hpx.parallel import await_workers
+    def _check_usable(self) -> None:
+        from repro.hpx.parallel import ParallelError
 
-        result = self._arena.get("result")
-        result[:] = 0.0  # flushes accumulate with +=
+        if self._failed is not None:
+            raise ParallelError(
+                "parallel service already failed and was shut down "
+                f"({self._failed}); start a new session"
+            )
+        if self._arena is None:
+            raise ParallelError(
+                "parallel service is not started (or already closed)"
+            )
+
+    def _round(self, update) -> np.ndarray:
+        from repro.hpx.parallel import ParallelError, await_workers
+
+        self._check_usable()
         t0 = time.perf_counter()
         msg = ("go",) if update is None else ("go", update)
-        for q in self._inboxes:
-            q.put(msg)
-        stats = await_workers(
-            self._parent_q, self._procs, self.n, "done", self.timeout
-        )
+        attempts = 0
+        while True:
+            result = self._arena.get("result")
+            result[:] = 0.0  # flushes accumulate with +=
+            try:
+                for q in self._inboxes:
+                    q.put(msg)
+                stats = await_workers(
+                    self._parent_q, self._procs, self.n, "done", self.timeout
+                )
+                break
+            except ParallelError as exc:
+                # a worker died (or wedged) mid-round.  The session is
+                # still a valid basis for a re-drive: the arena already
+                # holds this round's inputs, the parent's tree replica
+                # was updated before _round ran, and survivors are
+                # killed with the casualty.  Respawned workers rebuild
+                # their metadata from the live arrays, so a plain cold
+                # GO re-drives the identical round.
+                attempts += 1
+                if attempts > self.max_respawns:
+                    self._failed = exc
+                    self.close()
+                    raise
+                try:
+                    self._respawn()
+                except BaseException as spawn_exc:
+                    self._failed = spawn_exc
+                    self.close()
+                    raise
+                # respawned workers cold-build from the current arrays;
+                # an incremental update message would double-apply
+                msg = ("go",)
+            except BaseException as exc:
+                # anything non-recoverable (KeyboardInterrupt, ...):
+                # mirror start()'s handling - tear the fleet down so
+                # workers are never left alive and blocked on inboxes
+                self._failed = exc
+                self.close()
+                raise
         wall = time.perf_counter() - t0
         self.rounds += 1
-        self.round_stats.append({"wall_time": wall, "workers": stats})
+        stat = {"wall_time": wall, "workers": stats}
+        if attempts:
+            stat["respawns"] = attempts
+        self.round_stats.append(stat)
         potentials = np.empty(self._n_tgt)
         potentials[self._dual.target.perm] = result
         return potentials

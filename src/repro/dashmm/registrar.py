@@ -326,6 +326,12 @@ class Registrar:
                 dag, cost_model=self.cost, levels=pol.n_levels - 1
             )
         runtime.register_action("dashmm_edges", self._edges_action)
+        # per-evaluation mutable state outside the GAS (lazy/deferred
+        # accumulators, the result vector, recorded flush plans) rides
+        # checkpoints through the participant protocol
+        participants = getattr(runtime, "checkpoint_participants", None)
+        if participants is not None:
+            participants.append(self)
 
     # -- expansion-data access ----------------------------------------------------
     def _data_of(self, node_id: int):
@@ -435,6 +441,47 @@ class Registrar:
         self._lazy_l2l = []
         if zero_result and self.result is not None:
             self.result[:] = 0.0
+
+    def checkpoint_state(self) -> dict:
+        """Mutable per-evaluation state for a runtime checkpoint.
+
+        The registrar's LCOs live in the GAS and are snapshotted there
+        (:mod:`repro.hpx.checkpoint`); this covers everything else that
+        changes while an evaluation runs: the lazy marker lists and
+        deferred leaf outputs, the stacked-multipole cache, the result
+        vector, and the recorded flush plans (which are
+        schedule-dependent under fuzzing, so a restore must rewind them
+        with everything else).
+        """
+        return {
+            "deferred": list(self._deferred),
+            "s2m": None if self._s2m is None else dict(self._s2m),
+            "lazy_m2i": list(self._lazy_m2i),
+            "lazy_i2i": list(self._lazy_i2i),
+            "lazy_i2l": list(self._lazy_i2l),
+            "lazy_l2l": list(self._lazy_l2l),
+            "m2i_dirs": dict(self._m2i_dirs),
+            "m2i_plan": self._m2i_plan,
+            "i2i_plan": self._i2i_plan,
+            "is_mat": self._is_mat,
+            "result": None if self.result is None else self.result.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Write a :meth:`checkpoint_state` snapshot back in place."""
+        self._deferred = list(state["deferred"])
+        self._s2m = None if state["s2m"] is None else dict(state["s2m"])
+        self._lazy_m2i = list(state["lazy_m2i"])
+        self._lazy_i2i = list(state["lazy_i2i"])
+        self._lazy_i2l = list(state["lazy_i2l"])
+        self._lazy_l2l = list(state["lazy_l2l"])
+        self._m2i_dirs = dict(state["m2i_dirs"])
+        self._m2i_plan = state["m2i_plan"]
+        self._i2i_plan = state["i2i_plan"]
+        self._is_mat = state["is_mat"]
+        if state["result"] is not None:
+            # in place: closures and the evaluator hold this array
+            self.result[:] = state["result"]
 
     def invalidate_plans(self) -> None:
         """Drop recorded flush plans (group compositions + gather rows).

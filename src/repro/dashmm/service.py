@@ -592,13 +592,20 @@ class EvaluatorSession:
             # respawns (the operator cache still carries over via disk)
             svc.close()
             svc = self._parallel = None
-        if svc is None:
-            svc = self._parallel = PersistentParallelService(
-                self.evaluator, self.domain
-            )
-            out, info = svc.start(sources, weights, targets)
-        else:
-            out, info = svc.submit(sources, weights, targets)
+        try:
+            if svc is None:
+                svc = self._parallel = PersistentParallelService(
+                    self.evaluator, self.domain
+                )
+                out, info = svc.start(sources, weights, targets)
+            else:
+                out, info = svc.submit(sources, weights, targets)
+        except BaseException:
+            # a terminally failed service has already torn its fleet
+            # down; drop the reference so the next submit starts a
+            # fresh one instead of raising "service failed" forever
+            self._parallel = None
+            raise
         self.stats["tree_updates"].append(info["tree"])
         shape = info["shape"]
         if shape in self._shapes_seen:

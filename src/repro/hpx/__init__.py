@@ -20,6 +20,7 @@ Like HPX-5 itself, the runtime is application-agnostic; everything
 FMM-specific lives in :mod:`repro.dashmm`.
 """
 
+from repro.hpx.checkpoint import RuntimeCheckpoint
 from repro.hpx.gas import GlobalAddress, GlobalAddressSpace
 from repro.hpx.hazards import HazardDetector, HazardReport, concurrent, happens_before
 from repro.hpx.lco import AndLCO, Future, LCO, LCOError, ReductionLCO
@@ -53,6 +54,7 @@ __all__ = [
     "Parcel",
     "Runtime",
     "RuntimeConfig",
+    "RuntimeCheckpoint",
     "Task",
     "ScheduleFuzzer",
     "ScheduleReplayer",

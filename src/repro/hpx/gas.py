@@ -17,6 +17,7 @@ exactly the discipline DASHMM has to follow.
 from __future__ import annotations
 
 import os
+import weakref
 from dataclasses import dataclass
 from typing import Any
 
@@ -199,6 +200,37 @@ class _suppress_tracker:
         return False
 
 
+def _unlink_segments(names) -> None:
+    """Best-effort unlink of shared-memory segments by name.
+
+    The module-level cleanup path shared by the ``weakref.finalize``
+    guard on owning arenas (runs at garbage collection, interpreter
+    exit, and on the unwind of a fatal exception) and the orphan reaper
+    - i.e. every path where the arena's own ``destroy()`` did not run.
+    ``names`` is mutated in place: successfully removed (or already
+    absent) segments are dropped, so calling ``destroy()`` after the
+    guard fired (or vice versa) is a no-op.
+    """
+    from multiprocessing import shared_memory
+
+    for name in list(names):
+        try:
+            with _suppress_tracker():
+                seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            names.discard(name)
+            continue
+        except OSError:  # pragma: no cover - platform-specific failure
+            continue
+        seg.close()
+        _tracker_register(seg)
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            _tracker_unregister(seg)
+        names.discard(name)
+
+
 class ShmArena:
     """Allocator/registry of shared-memory blocks for one evaluation.
 
@@ -224,6 +256,17 @@ class ShmArena:
         self.owner = True
         self._blocks: dict[str, ShmBlock] = {}
         self._count = 0
+        # fail-safe cleanup: if the owning process dies without running
+        # destroy() (exception unwind, gc of a leaked arena, interpreter
+        # exit), the finalizer unlinks whatever segments are still live.
+        # The callback closes over the name set, not the arena, so it
+        # cannot keep the arena alive; destroy() empties the set, making
+        # a later firing a no-op.  (A SIGKILL skips finalizers entirely
+        # - that is what :meth:`reap_orphans` is for.)
+        self._live_names: set[str] = set()
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._live_names
+        )
 
     # -- parent (owner) side ---------------------------------------------------
     def alloc(self, label: str, shape, dtype=np.float64) -> np.ndarray:
@@ -242,6 +285,7 @@ class ShmArena:
             shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
         block = ShmBlock(label, shm, shape, dt)
         self._blocks[label] = block
+        self._live_names.add(name)
         return block.array
 
     def put(self, label: str, array: np.ndarray) -> np.ndarray:
@@ -282,6 +326,7 @@ class ShmArena:
         arena.owner = False
         arena._blocks = {}
         arena._count = 0
+        arena._live_names = set()  # attached arenas never unlink
         with _suppress_tracker():
             for label, (name, shape, dtype) in manifest["blocks"].items():
                 shm = shared_memory.SharedMemory(name=name)
@@ -303,6 +348,7 @@ class ShmArena:
             raise ValueError("only the owning arena may unlink its segments")
         for b in self._blocks.values():
             b.unlink()
+        self._live_names.clear()  # disarm the finalize guard
 
     def destroy(self) -> None:
         """Owner teardown: unmap and unlink everything."""
@@ -322,3 +368,31 @@ class ShmArena:
             )
         except FileNotFoundError:  # pragma: no cover - non-Linux
             return []
+
+    @staticmethod
+    def reap_orphans(prefix: str = "hmmgas") -> list[str]:
+        """Unlink segments whose owning process no longer exists.
+
+        The last line of defense: ``weakref.finalize``/atexit cannot run
+        when the owner is SIGKILLed or crashes hard, so its segments
+        stay in ``/dev/shm`` until reboot.  Arena segment names embed
+        the creator pid (``{prefix}_{pid}_{count}``); any segment whose
+        creator is dead is an orphan and is removed.  Segments of live
+        owners - including the calling process - are left alone.
+        Returns the names reaped.
+        """
+        orphans: set[str] = set()
+        for name in ShmArena.leaked(prefix):
+            parts = name[len(prefix) :].split("_")
+            if len(parts) < 3 or not parts[1].isdigit():
+                continue  # not an arena segment of this prefix
+            pid = int(parts[1])
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                orphans.add(name)
+            except PermissionError:  # pragma: no cover - other user's pid
+                pass
+        reaped = sorted(orphans)
+        _unlink_segments(orphans)
+        return reaped

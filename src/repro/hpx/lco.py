@@ -168,6 +168,34 @@ class LCO:
             Task(fn=fn, args=args, op_class=op_class, cost=cost, priority=priority)
         )
 
+    # -- checkpoint/restore protocol (repro.hpx.checkpoint) ----------------------
+    #: instance attributes excluded from the generic snapshot: fixed
+    #: identity/wiring that never changes over an LCO's lifetime
+    _checkpoint_skip = ("runtime", "addr", "registrar")
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot of this LCO's mutable state (trigger flag, fold
+        ledgers, buffered continuations).  Container and ndarray values
+        are copied; object references (tasks, tree nodes) are shared -
+        see :mod:`repro.hpx.checkpoint` on in-place restore.  Works for
+        any subclass without ``__slots__``; subclasses with exotic
+        state can override the pair."""
+        from repro.hpx.checkpoint import copy_state
+
+        skip = self._checkpoint_skip
+        return {
+            k: copy_state(v) for k, v in self.__dict__.items() if k not in skip
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Write a :meth:`checkpoint_state` snapshot back in place (the
+        snapshot is re-copied, so one checkpoint restores any number of
+        times)."""
+        from repro.hpx.checkpoint import copy_state
+
+        for k, v in state.items():
+            self.__dict__[k] = copy_state(v)
+
 
 class Future(LCO):
     """Single-assignment LCO: triggers on its first (only) input.

@@ -129,6 +129,38 @@ class FaultyNetwork(NetworkModel):
                 return True
         return False
 
+    def outage_clear(
+        self, localities, t_from: float, t_until: float
+    ) -> float | None:
+        """When the outages blanketing ``localities`` over an interval lift.
+
+        Outage windows are static configuration, so the reliable
+        transport can *attribute* a retry-budget exhaustion: if any
+        window involving one of ``localities`` overlaps
+        ``[t_from, t_until]``, the loss is explained by the outage and
+        the returned time - the end of the last overlapping window,
+        extended through any windows chained onto it - is when a
+        suspended parcel should reattempt delivery.  Returns None when
+        no window overlaps the interval (the destination is genuinely
+        unreachable as far as the configuration knows).
+        """
+        locs = set(localities)
+        wins = sorted((t0, t1) for loc, t0, t1 in self.outages if loc in locs)
+        if not wins:
+            return None
+        merged: list[list[float]] = []
+        for t0, t1 in wins:
+            if merged and t0 <= merged[-1][1]:
+                if t1 > merged[-1][1]:
+                    merged[-1][1] = t1
+            else:
+                merged.append([t0, t1])
+        clear = None
+        for t0, t1 in merged:
+            if t0 <= t_until and t1 > t_from:
+                clear = t1 if clear is None else max(clear, t1)
+        return clear
+
     def delivery_times(
         self, src_locality: int, dst_locality: int, t_send: float, size_bytes: int
     ) -> list[float]:

@@ -12,6 +12,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.hpx.checkpoint import RuntimeCheckpoint
 from repro.hpx.gas import GlobalAddressSpace
 from repro.hpx.hazards import HazardDetector
 from repro.hpx.network import NetworkModel
@@ -107,6 +108,12 @@ class RuntimeConfig:
     fuzz_schedule: int | None = None
     replay_schedule: "ScheduleTrace | str | None" = None
     detect_hazards: bool = False
+    #: capture a RuntimeCheckpoint every this many seconds of virtual
+    #: time (None disables periodic capture).  Checkpoints accumulate
+    #: in :attr:`Runtime.checkpoints`; a run restored from any of them
+    #: is bit-identical to an uninterrupted one.  Mutually exclusive
+    #: with ``detect_hazards`` (vector clocks are not snapshotted).
+    checkpoint_every: float | None = None
     backend: str = "sim"
     seed: int = 12345
     start_method: str = "spawn"
@@ -118,6 +125,14 @@ class RuntimeConfig:
             )
         if self.start_method not in ("spawn", "fork", "forkserver"):
             raise ValueError(f"unknown start method {self.start_method!r}")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            if self.detect_hazards:
+                raise ValueError(
+                    "checkpoint_every and detect_hazards are mutually "
+                    "exclusive (hazard vector clocks are not snapshotted)"
+                )
 
     @property
     def total_cores(self) -> int:
@@ -183,6 +198,12 @@ class Runtime:
             self.scheduler.hazards = self.hazard_detector
             self.gas.monitor = self.hazard_detector
         self._actions: dict[str, Callable] = {}
+        #: objects with per-run mutable state outside the GAS (e.g. the
+        #: DASHMM registrar) register here; each contributes an opaque
+        #: blob to every checkpoint via checkpoint_state()/restore_state()
+        self.checkpoint_participants: list = []
+        #: checkpoints captured so far (periodic and abort), oldest first
+        self.checkpoints: list[RuntimeCheckpoint] = []
 
     # -- actions & parcels -------------------------------------------------------
     def register_action(self, name: str, fn: Callable) -> None:
@@ -293,13 +314,80 @@ class Runtime:
         self.scheduler.enqueue(task, locality, self.scheduler.now)
 
     def run(self, until: float | None = None) -> float:
-        """Drive the simulation to quiescence; returns elapsed virtual time."""
-        t = self.scheduler.run(until=until)
+        """Drive the simulation to quiescence; returns elapsed virtual time.
+
+        With ``checkpoint_every`` set, the event loop pauses at each
+        virtual-clock interval boundary and captures a
+        :class:`~repro.hpx.checkpoint.RuntimeCheckpoint` (bounded runs
+        resume bit-identically, so the pauses are invisible to the
+        schedule).  A structured scheduler abort - e.g. transport retry
+        exhaustion against an unreachable destination - quiesces first
+        and attaches an abort checkpoint to the exception as
+        ``exc.checkpoint`` before it propagates.
+        """
+        sched = self.scheduler
+        every = self.config.checkpoint_every
+        try:
+            if every is not None:
+                while True:
+                    bound = sched.now + every
+                    if until is not None and bound >= until:
+                        t = sched.run(until=until)
+                        break
+                    t = sched.run(until=bound)
+                    if not sched._heap:
+                        break
+                    self.checkpoint()
+            else:
+                t = sched.run(until=until)
+        except Exception as exc:
+            if sched.aborted is exc:
+                # structured abort: the loop quiesced before raising,
+                # so the state is checkpointable; hand the caller a
+                # restore point along with the error
+                sched.aborted = None
+                exc.checkpoint = self.checkpoint(label="abort")
+            raise
         if self.hazard_detector is not None:
             # post-run code (result gathers, test assertions) is
             # ordered after every task - no false races against setup
             self.hazard_detector.quiesce(t)
         return t
+
+    # -- checkpoint/restore ----------------------------------------------------------
+    def checkpoint(self, label: str = "periodic") -> RuntimeCheckpoint:
+        """Capture a restore point of the current quiescent state.
+
+        Only meaningful between events - i.e. outside :meth:`run`, at a
+        ``checkpoint_every`` boundary, or from the structured-abort
+        path; never call it from inside a task body.
+        """
+        if self.hazard_detector is not None:
+            raise ValueError(
+                "checkpointing is not supported with detect_hazards "
+                "(vector-clock state is not snapshotted)"
+            )
+        cp = RuntimeCheckpoint.capture(self, label=label)
+        self.checkpoints.append(cp)
+        return cp
+
+    def restore(self, checkpoint: RuntimeCheckpoint) -> float:
+        """Rewind this runtime to ``checkpoint``; returns its virtual time.
+
+        The checkpoint must have been captured from this runtime (state
+        is restored in place into the live object graph).  After
+        restore, :meth:`run` resumes mid-DAG and the completed run is
+        bit-identical - potentials and virtual clock - to one that was
+        never interrupted.
+        """
+        checkpoint.restore(self)
+        # checkpoints taken after the restore point describe a future
+        # that has been rewound away; drop them so a re-run's periodic
+        # captures do not interleave with stale ones
+        self.checkpoints = [
+            cp for cp in self.checkpoints if cp.time <= checkpoint.time
+        ]
+        return self.scheduler.now
 
     # -- introspection ---------------------------------------------------------------
     @property
@@ -341,4 +429,6 @@ class Runtime:
             out["hazard_reports"] = len(self.hazard_detector.reports)
         if s.schedule_driver is not None:
             out["schedule_decisions"] = len(s.schedule_driver.trace)
+        if self.checkpoints:
+            out["checkpoints"] = len(self.checkpoints)
         return out

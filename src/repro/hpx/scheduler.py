@@ -73,7 +73,6 @@ to a build without this machinery.
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
 import time as _time
 from collections import deque
@@ -475,7 +474,9 @@ class Scheduler:
         self._rr = [0] * n_localities
 
         self._heap: list = []
-        self._seq = itertools.count()
+        # plain int (not itertools.count) so a RuntimeCheckpoint can
+        # capture and rewind it; see repro.hpx.checkpoint
+        self._seq = 0
         self.now = 0.0
         self.tasks_run = 0
         self.steals = 0
@@ -495,6 +496,13 @@ class Scheduler:
         self.schedule_driver: ScheduleFuzzer | ScheduleReplayer | None = None
         #: happens-before hazard detector (repro.hpx.hazards), or None
         self.hazards = None
+        #: structured-abort request (see :meth:`abort`): set mid-event,
+        #: raised by the run loop after the current event completes
+        self._abort: BaseException | None = None
+        #: the exception the last structured abort raised (the runtime
+        #: uses identity against this to tell a quiesced abort - heap
+        #: and LCO state intact, checkpointable - from a stray failure)
+        self.aborted: BaseException | None = None
 
     # -- public API -----------------------------------------------------------
     def enqueue(self, task: Task, locality: int, t: float, worker_hint: int | None = None) -> None:
@@ -543,6 +551,19 @@ class Scheduler:
             self._rr[locality] += 1
         self.deques[w][pr].append(task)
 
+    def abort(self, exc: BaseException) -> None:
+        """Request a structured abort of the event loop.
+
+        Called from *inside* an event (transport timers, task effects)
+        instead of raising: the run loop finishes the current event
+        cleanly, then raises ``exc`` between events - with the heap,
+        deques, LCO and transport state all internally consistent, i.e.
+        at a quiescent, checkpointable point.  The first request wins;
+        later ones while an abort is already pending are dropped.
+        """
+        if self._abort is None:
+            self._abort = exc
+
     def run(self, until: float | None = None) -> float:
         """Process events until quiescence (or ``until``); returns the time.
 
@@ -568,8 +589,9 @@ class Scheduler:
                 # bulk path: entries at one timestamp with increasing
                 # seq form a sorted list, which is already a valid heap
                 t0 = self.now
-                seq = self._seq
-                heap.extend((t0, 0, next(seq), "pick", w) for w in kicks)
+                base = self._seq
+                heap.extend((t0, 0, base + i, "pick", w) for i, w in enumerate(kicks))
+                self._seq = base + len(kicks)
             else:
                 for w in kicks:
                     self._push_event(self.now, "pick", w)
@@ -580,6 +602,13 @@ class Scheduler:
         bounded = until is not None
         while heap:
             if bounded and heap[0][0] > until:
+                # cancelled timers past the horizon can never affect
+                # state; discard them here so a run paused only by
+                # checkpoint boundaries does not ratchet its clock to
+                # the boundary when no real work remains beyond it
+                if heap[0][3] == "call" and heap[0][4].cancelled:
+                    heappop(heap)
+                    continue
                 # horizon reached: the over-horizon event stays queued
                 # for the next run instead of being popped and lost
                 self.now = until
@@ -610,6 +639,14 @@ class Scheduler:
                     data.fn(t)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind}")
+            if self._abort is not None:
+                # structured abort: the event that requested it has
+                # completed; every queue/heap/LCO invariant holds, so
+                # the caller may checkpoint before propagating
+                exc = self._abort
+                self._abort = None
+                self.aborted = exc
+                raise exc
         return self.now
 
     def post_parcel_arrival(self, parcel, t_arrival: float) -> None:
@@ -625,7 +662,9 @@ class Scheduler:
         # orderings are legal schedules of logically concurrent events
         drv = self.schedule_driver
         tie = 0 if drv is None else drv.tie()
-        heapq.heappush(self._heap, (t, tie, next(self._seq), kind, data))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (t, tie, seq, kind, data))
 
     def _try_pick(self, worker: int, t: float) -> None:
         if self.busy[worker]:

@@ -17,8 +17,14 @@ policy:
   ``(src, seq)`` id and arms a timeout; the receiver suppresses
   duplicate ids and acks every copy (acks ride the same faulty
   network, charging the receiver's NIC); unacked parcels are
-  retransmitted with exponential backoff up to a retry budget, after
-  which a structured :class:`TransportError` aborts the run.
+  retransmitted with exponential backoff up to a retry budget.  A
+  budget exhaustion that overlaps a known
+  :class:`~repro.hpx.network.FaultyNetwork` outage window *suspends*
+  the parcel and resumes it once the window lifts; only a genuinely
+  unreachable destination raises a structured :class:`TransportError`,
+  and it does so through :meth:`~repro.hpx.scheduler.Scheduler.abort`
+  so the error surfaces between events, at a quiescent,
+  checkpointable point (see :mod:`repro.hpx.checkpoint`).
 
 The reliable protocol makes delivery effectively exactly-once, so an
 evaluation over a faulty network produces bit-identical results to the
@@ -40,21 +46,36 @@ protocol working, not an application hazard.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any
 
 
 class TransportError(RuntimeError):
-    """A parcel exhausted its retry budget (destination unreachable)."""
+    """A parcel exhausted its retry budget (destination unreachable).
 
-    def __init__(self, message: str, *, parcel=None, attempts: int | None = None):
+    ``attempts`` counts *transmissions* (the initial send plus every
+    retransmission); ``retries`` counts retransmissions only, matching
+    the transport's ``retries`` counter - so ``attempts == retries + 1``
+    always holds and the two are no longer conflated.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        parcel=None,
+        attempts: int | None = None,
+        retries: int | None = None,
+    ):
         self.parcel = parcel
         self.attempts = attempts
+        if retries is None and attempts is not None:
+            retries = attempts - 1
+        self.retries = retries
         detail = ""
         if parcel is not None:
             detail = (
                 f" [action={parcel.action!r} target={parcel.target!r}"
-                f" seq={parcel.seq!r} attempts={attempts}]"
+                f" seq={parcel.seq!r} attempts={attempts} retries={retries}]"
             )
         super().__init__(message + detail)
 
@@ -76,7 +97,9 @@ class Framing:
     __slots__ = ("_seq", "_pending", "_seen", "acks_sent", "dups_suppressed", "stale_acks")
 
     def __init__(self):
-        self._seq = itertools.count()
+        # plain int (not itertools.count) so checkpoints can capture
+        # and rewind the stamp stream; see repro.hpx.checkpoint
+        self._seq = 0
         self._pending: dict[Any, Any] = {}
         self._seen: set[Any] = set()
         self.acks_sent = 0
@@ -86,7 +109,9 @@ class Framing:
     # -- sender side -------------------------------------------------------------
     def stamp(self, src) -> tuple:
         """A fresh (src, seq) frame id."""
-        return (src, next(self._seq))
+        seq = self._seq
+        self._seq = seq + 1
+        return (src, seq)
 
     def track(self, seq, state) -> None:
         """Remember sender-side state until the frame is acked."""
@@ -155,7 +180,7 @@ class DirectTransport:
 class _Pending:
     """Sender-side state of one unacknowledged parcel."""
 
-    __slots__ = ("parcel", "src", "dst", "attempts", "timer")
+    __slots__ = ("parcel", "src", "dst", "attempts", "timer", "last_send")
 
     def __init__(self, parcel, src: int, dst: int):
         self.parcel = parcel
@@ -163,6 +188,9 @@ class _Pending:
         self.dst = dst
         self.attempts = 0
         self.timer: _Event | None = None
+        #: virtual time of the most recent transmission - used to decide
+        #: whether a retry-budget exhaustion overlapped an outage window
+        self.last_send = 0.0
 
 
 class ReliableTransport:
@@ -187,6 +215,13 @@ class ReliableTransport:
         self.ack_bytes = ack_bytes
         self.framing = Framing()
         self.retries = 0
+        #: parcels parked across a FaultyNetwork outage window, keyed by
+        #: frame id: a retry-budget exhaustion attributable to a known
+        #: outage suspends the parcel until the window lifts instead of
+        #: aborting the run (fail-safe fault handling)
+        self._suspended: dict[Any, _Pending] = {}
+        self.suspensions = 0
+        self.resumes = 0
 
     # -- sender side -------------------------------------------------------------
     def send(self, parcel, src: int, dst: int, t: float) -> None:
@@ -198,14 +233,24 @@ class ReliableTransport:
     def _transmit(self, entry: _Pending, t: float) -> None:
         sched = self.scheduler
         parcel = entry.parcel
-        for ta in sched.network.delivery_times(
+        entry.last_send = t
+        arrivals = sched.network.delivery_times(
             entry.src, entry.dst, t, parcel.size_bytes
-        ):
+        )
+        for ta in arrivals:
             arrive = _Event(lambda ta, p=parcel: self._on_receive(p, ta))
             sched._push_event(ta, "call", arrive)
         timer = _Event(lambda tt, e=entry: self._on_timeout(e, tt))
         entry.timer = timer
-        sched._push_event(t + self._timeout_for(entry), "call", timer)
+        # the retry clock starts from the copy's scheduled arrival (which
+        # includes NIC-serialization queueing - think of a congestion
+        # estimate a real transport derives from its send completions),
+        # not the send instant: a parcel stuck behind a deep NIC backlog
+        # (e.g. the post-outage resume burst) is queued, not lost, and
+        # must not burn its retry budget while it drains.  A dropped
+        # send has no arrival; its timer runs from the send time.
+        base = max(arrivals) if arrivals else t
+        sched._push_event(base + self._timeout_for(entry), "call", timer)
 
     def _timeout_for(self, entry: _Pending) -> float:
         # base timeout plus the transfer time of the payload itself, so
@@ -218,13 +263,65 @@ class ReliableTransport:
         if not self.framing.is_pending(entry.parcel.seq):
             return  # acked between timer creation and firing
         if entry.attempts >= self.retry_limit:
-            raise TransportError(
-                "parcel exhausted its retry budget",
-                parcel=entry.parcel,
-                attempts=entry.attempts + 1,
+            resume_at = self._outage_resume_time(entry, t)
+            if resume_at is not None:
+                # the exhaustion is explained by a known outage window:
+                # park the parcel and try again once the window lifts,
+                # instead of losing the whole evaluation
+                self._suspend(entry, resume_at)
+                return
+            # genuinely unreachable: park the parcel anyway - the abort
+            # checkpoint then holds it in the suspended table with an
+            # immediate resume event, so a restored run re-drives it
+            # with a fresh budget once the environment is fixed - and
+            # route the failure through the structured scheduler abort
+            # so the run loop raises *between* events with every
+            # heap/LCO/transport invariant intact
+            self._suspend(entry, t)
+            self.scheduler.abort(
+                TransportError(
+                    "parcel exhausted its retry budget",
+                    parcel=entry.parcel,
+                    attempts=entry.attempts + 1,
+                    retries=entry.attempts,
+                )
             )
+            return
         entry.attempts += 1
         self.retries += 1
+        self._transmit(entry, t)
+
+    def _outage_resume_time(self, entry: _Pending, t: float) -> float | None:
+        """When (if ever) the outage blocking ``entry`` lifts.
+
+        Returns the virtual time to reattempt delivery, or None when no
+        known outage window involving the endpoints overlaps the failed
+        retry period ``[entry.last_send, t]`` - in which case the
+        destination is treated as genuinely unreachable.
+        """
+        clear_fn = getattr(self.scheduler.network, "outage_clear", None)
+        if clear_fn is None:
+            return None
+        clear = clear_fn((entry.src, entry.dst), entry.last_send, t)
+        if clear is None:
+            return None
+        return max(clear, t)
+
+    def _suspend(self, entry: _Pending, resume_at: float) -> None:
+        self.suspensions += 1
+        entry.timer = None
+        self._suspended[entry.parcel.seq] = entry
+        resume = _Event(lambda tt, e=entry: self._on_resume(e, tt))
+        self.scheduler._push_event(resume_at, "call", resume)
+
+    def _on_resume(self, entry: _Pending, t: float) -> None:
+        self._suspended.pop(entry.parcel.seq, None)
+        if not self.framing.is_pending(entry.parcel.seq):
+            return  # a straggler copy got through while suspended
+        self.resumes += 1
+        # the outage explains every failed transmission so far: restart
+        # the retry budget for the post-outage reattempts
+        entry.attempts = 0
         self._transmit(entry, t)
 
     def _on_ack(self, seq, t: float) -> None:
@@ -273,5 +370,16 @@ class ReliableTransport:
     def stale_acks(self) -> int:
         return self.framing.stale_acks
 
+    @property
+    def suspended(self) -> int:
+        return len(self._suspended)
+
     def stats(self) -> dict:
-        return {"reliable": True, "retries": self.retries, **self.framing.stats()}
+        return {
+            "reliable": True,
+            "retries": self.retries,
+            "suspensions": self.suspensions,
+            "resumes": self.resumes,
+            "suspended": len(self._suspended),
+            **self.framing.stats(),
+        }

@@ -127,6 +127,51 @@ def test_outage_window_only_stretches_clock(laplace, laplace_factory, cloud):
     assert faulty.time > clean.time
 
 
+def test_outage_beyond_retry_budget_completes_via_suspend_resume(
+    laplace, laplace_factory, cloud
+):
+    """Acceptance: a blackout longer than the whole retry budget no
+    longer raises ``TransportError`` - exhausted parcels suspend, resume
+    when the window lifts, and the potentials stay bit-identical."""
+    clean = _evaluate(laplace, laplace_factory, cloud)
+    net = FaultyNetwork(outages=((1, 1e-4, 2.1e-3),), seed=5)
+    faulty = _evaluate(
+        laplace,
+        laplace_factory,
+        cloud,
+        net=net,
+        retry_timeout=20e-6,
+        retry_limit=3,  # budget ~ 20e-6 * (1 + 2 + 4) << the 2ms window
+    )
+    assert np.array_equal(clean.potentials, faulty.potentials)
+    xp = faulty.runtime_stats["transport"]
+    assert xp["suspensions"] > 0
+    assert xp["resumes"] == xp["suspensions"]
+    assert xp["suspended"] == 0 and xp["in_flight"] == 0
+    assert faulty.time > clean.time
+
+
+@pytest.mark.parametrize("fuzz", [3, 44])
+def test_short_outage_bit_identical_under_fuzzed_schedules(
+    fuzz, laplace, laplace_factory, cloud
+):
+    """An outage the retry budget rides out converges bit-identically
+    no matter how the schedule fuzzer perturbs pick/steal decisions."""
+    clean = _evaluate(laplace, laplace_factory, cloud, fuzz_schedule=fuzz)
+    net = FaultyNetwork(outages=((1, 0.0, 3e-4),), seed=5)
+    faulty = _evaluate(
+        laplace,
+        laplace_factory,
+        cloud,
+        net=net,
+        retry_timeout=5e-5,
+        retry_limit=12,
+        fuzz_schedule=fuzz,
+    )
+    assert np.array_equal(clean.potentials, faulty.potentials)
+    assert faulty.runtime_stats["transport"]["suspensions"] == 0
+
+
 def test_phantom_mode_quiesces_under_faults(laplace, cloud):
     src, w, tgt = cloud
     cfg = RuntimeConfig(

@@ -231,3 +231,72 @@ def test_parallel_session_bit_identical():
             pts2[idx] + rng.normal(scale=1e-3, size=(4, 3)), pts.min(), pts.max()
         )
         assert np.array_equal(sess.submit(pts2, w2), sim.submit(pts2, w2))
+
+
+def _parallel_evaluator(n_localities=2, threshold=20):
+    kern = LaplaceKernel(4)
+    return DashmmEvaluator(
+        kern,
+        method="fmm",
+        threshold=threshold,
+        runtime_config=RuntimeConfig(
+            backend="parallel", n_localities=n_localities, start_method="spawn"
+        ),
+        factory=OperatorFactory(kern, eps=1e-4),
+    )
+
+
+@pytest.mark.parallel
+def test_round_survives_worker_kill():
+    """A worker killed between rounds: respawn + re-drive, same bits."""
+    rng = np.random.default_rng(11)
+    n = 300
+    pts = rng.random((n, 3))
+    w = rng.random(n)
+    with EvaluatorSession(_parallel_evaluator()) as sess:
+        cold = sess.submit(pts, w)
+        svc = sess._parallel
+        victim = svc._procs[0]
+        victim.terminate()
+        victim.join(timeout=10.0)
+        # the next round detects the casualty, respawns the fleet from
+        # the retained spec/manifest and re-drives - bit-identically
+        out = sess.submit(pts, w)
+        assert np.array_equal(out, cold)
+        assert svc.respawns == 1
+        assert sess._parallel is svc  # same service, recovered in place
+        assert svc.round_stats[-1]["respawns"] == 1
+        # the recovered fleet keeps serving warm rounds
+        w2 = rng.random(n)
+        assert np.array_equal(sess.submit(pts, w2), sess.submit(pts, w2))
+
+
+@pytest.mark.parallel
+def test_worker_kill_without_respawn_budget_fails_cleanly():
+    """Exhausted respawn budget: tear down, raise once, raise clearly after."""
+    from repro.hpx.gas import ShmArena
+    from repro.hpx.parallel import ParallelError
+
+    rng = np.random.default_rng(12)
+    n = 300
+    pts = rng.random((n, 3))
+    w = rng.random(n)
+    with EvaluatorSession(_parallel_evaluator()) as sess:
+        cold = sess.submit(pts, w)
+        svc = sess._parallel
+        svc.max_respawns = 0
+        svc._procs[1].terminate()
+        svc._procs[1].join(timeout=10.0)
+        with pytest.raises(ParallelError):
+            sess.submit(pts, w)
+        # no workers left alive and blocked on inboxes, no arena leak
+        assert svc._procs == []
+        assert svc._arena is None
+        # the failed service raises clearly instead of hanging
+        with pytest.raises(ParallelError, match="failed"):
+            svc.submit(pts, w, pts)
+        # the session dropped the dead service and recovers with a
+        # fresh fleet on the next submit
+        assert sess._parallel is None
+        assert np.array_equal(sess.submit(pts, w), cold)
+    assert ShmArena.leaked() == []

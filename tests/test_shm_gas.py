@@ -139,3 +139,63 @@ def test_leaked_reports_live_segments():
     assert ShmArena.leaked(PREFIX) == arena.segment_names()
     arena.destroy()
     assert ShmArena.leaked(PREFIX) == []
+
+
+def test_finalize_guard_unlinks_abandoned_arena():
+    """An owning arena gc'd without destroy() must not leak segments."""
+    import gc
+
+    arena = ShmArena(prefix=PREFIX)
+    arena.put("x", np.zeros(16))
+    names = arena.segment_names()
+    assert ShmArena.leaked(PREFIX) == names
+    del arena  # owner forgot destroy(); the finalize guard fires on gc
+    gc.collect()
+    assert ShmArena.leaked(PREFIX) == []
+
+
+def test_finalize_guard_disarmed_by_destroy():
+    """destroy() then gc: the guard must not double-unlink or raise."""
+    import gc
+
+    arena = ShmArena(prefix=PREFIX)
+    arena.put("x", np.zeros(4))
+    arena.destroy()
+    del arena
+    gc.collect()
+    assert ShmArena.leaked(PREFIX) == []
+
+
+def _own_arena_and_hang(prefix, q):
+    import time
+
+    arena = ShmArena(prefix=prefix)
+    arena.put("x", np.zeros(32))
+    q.put(arena.segment_names())
+    time.sleep(300)  # parked until the parent SIGKILLs us
+
+
+def test_reap_orphans_after_owner_sigkill():
+    """SIGKILL skips finalizers; the reaper removes the dead owner's
+    segments (named ``{prefix}_{pid}_{n}``) once the pid is gone."""
+    ctx = mp.get_context("spawn")
+    q = ctx.Queue()
+    p = ctx.Process(target=_own_arena_and_hang, args=(PREFIX, q))
+    p.start()
+    names = q.get(timeout=30.0)
+    p.kill()  # SIGKILL: no atexit, no weakref.finalize in the child
+    p.join(timeout=30.0)
+    assert sorted(names) == ShmArena.leaked(PREFIX)
+    reaped = ShmArena.reap_orphans(PREFIX)
+    assert reaped == sorted(names)
+    assert ShmArena.leaked(PREFIX) == []
+
+
+def test_reap_orphans_spares_live_owners():
+    arena = ShmArena(prefix=PREFIX)
+    try:
+        arena.put("x", np.zeros(8))
+        assert ShmArena.reap_orphans(PREFIX) == []  # owner (us) is alive
+        assert ShmArena.leaked(PREFIX) == arena.segment_names()
+    finally:
+        arena.destroy()

@@ -160,6 +160,83 @@ def test_memget_under_faults_with_reliable_transport():
     assert got == ["payload"]
 
 
+def test_retry_exhaustion_raises_exactly_once_with_failing_parcel():
+    """Several doomed parcels: one structured abort, not an error storm.
+
+    The first exhausted parcel wins; the scheduler quiesces after the
+    current event, so the raised ``TransportError`` carries the failing
+    parcel, the attempt/retry counters and a checkpoint of the
+    still-consistent runtime state.
+    """
+    rt = _runtime(
+        net=FaultyNetwork(drop=1.0, seed=3), retry_limit=3, retry_timeout=1e-5
+    )
+    _send_pings(rt, 3)
+    with pytest.raises(TransportError) as ei:
+        rt.run()
+    exc = ei.value
+    assert exc.parcel.action == "ping"
+    assert exc.attempts == 4  # initial transmission + 3 retries
+    assert exc.retries == 3  # and the two stay consistent
+    assert "attempts=4" in str(exc) and "retries=3" in str(exc)
+    # the abort path captured a checkpoint of the quiesced runtime
+    assert exc.checkpoint is rt.checkpoints[-1]
+    assert exc.checkpoint.label == "abort"
+    # the scheduler handed the abort off cleanly (no sticky state)
+    assert rt.scheduler.aborted is None
+
+
+@pytest.mark.parametrize("fuzz", [17, 91])
+def test_stale_and_duplicate_ack_accounting_under_fuzz(fuzz):
+    """Fuzzed schedules + dup/reorder/drop faults: the pending/seen
+    ledgers must balance - exactly-once delivery, zero in flight, and
+    every duplicate or stale ack accounted rather than crashing."""
+    runs = []
+    for _ in range(2):  # identical seeds: accounting must be deterministic
+        rt = _runtime(
+            net=FaultyNetwork(drop=0.2, duplicate=0.5, reorder=0.5, seed=13),
+            fuzz_schedule=fuzz,
+        )
+        seen = _send_pings(rt, 25)
+        rt.run()
+        assert sorted(seen) == list(range(25))
+        xp = rt.stats()["transport"]
+        assert xp["in_flight"] == 0
+        assert xp["dups_suppressed"] > 0  # duplicates arrived and were eaten
+        assert xp["stale_acks"] > 0  # dup/retransmit acks hit an empty slot
+        assert xp["acks_sent"] >= 25  # one per delivery attempt that landed
+        runs.append(xp)
+    assert runs[0] == runs[1]
+
+
+def test_outage_longer_than_retry_budget_suspends_and_resumes():
+    """A blackout that outlives every retry no longer kills the run:
+    exhausted parcels park until the outage window lifts, then resume
+    with a fresh budget and deliver exactly once."""
+    # budget: 1e-5 * (1+2+4) after the initial send - far less than 2e-3
+    net = FaultyNetwork(outages=((1, 0.0, 2e-3),), seed=8)
+    rt = _runtime(net=net, retry_timeout=1e-5, retry_limit=3)
+    seen = _send_pings(rt, 5)
+    t = rt.run()
+    assert sorted(seen) == list(range(5))
+    assert t >= 2e-3  # nothing could land before the window lifted
+    xp = rt.stats()["transport"]
+    assert xp["suspensions"] > 0
+    assert xp["resumes"] == xp["suspensions"]  # every parked parcel resumed
+    assert xp["suspended"] == 0
+    assert xp["in_flight"] == 0
+
+
+def test_exhaustion_outside_outage_still_aborts():
+    """Suspension is outage-attributed: plain loss (no window covering
+    the parcel's lifetime) keeps the hard structured-abort behaviour."""
+    net = FaultyNetwork(drop=1.0, outages=((1, 5e-3, 6e-3),), seed=8)
+    rt = _runtime(net=net, retry_timeout=1e-5, retry_limit=3)
+    _send_pings(rt, 1)
+    with pytest.raises(TransportError):
+        rt.run()
+
+
 def test_invalid_transport_configuration():
     rt = _runtime()
     with pytest.raises(ValueError):
