@@ -10,14 +10,22 @@ the (cheap) upward work throttles the whole evaluation.
 
 from __future__ import annotations
 
+from repro.dag.schema import EDGE_KIND_CATALOG
 from repro.dashmm.dag import DAG
 from repro.sim.costmodel import CostModel
 
-GROUPS = {
-    "up": ("S2M", "M2M"),
-    "bridge": ("M2I", "I2I", "I2L", "M2L", "M2T", "S2L"),
-    "down": ("S2T", "L2L", "L2T"),
-}
+
+def _groups_from_catalog() -> dict[str, tuple[str, ...]]:
+    out: dict[str, list[str]] = {"up": [], "bridge": [], "down": []}
+    for kind in EDGE_KIND_CATALOG.values():
+        out[kind.group].append(kind.name)
+    return {g: tuple(ops) for g, ops in out.items()}
+
+
+#: The paper's three operation groups, derived from the declared edge
+#: kinds (each :class:`repro.dag.EdgeKind` carries its ``group`` tag):
+#: up = S2M/M2M, bridge = M2I/I2I/I2L/M2L/M2T/S2L, down = S2T/L2L/L2T.
+GROUPS = _groups_from_catalog()
 
 
 def op_group(op: str) -> str:

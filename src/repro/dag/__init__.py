@@ -1,0 +1,65 @@
+"""Declarative DAG IR: schemas, validated builder, export/diff tooling.
+
+See :mod:`repro.dag.schema` for the subsystem; method declarations live
+with their methods (:data:`repro.methods.fmm.FMM_SCHEMA`,
+:data:`repro.methods.fmm.FMM_BASIC_SCHEMA`,
+:data:`repro.methods.barneshut.BH_SCHEMA`) and are resolved lazily by
+:func:`method_schema` to keep this package import-light.
+"""
+
+from repro.dag.schema import (
+    DagBuilder,
+    DagDiff,
+    EDGE_KIND_CATALOG,
+    EdgeKind,
+    MethodSchema,
+    NODE_KIND_CATALOG,
+    NodeKind,
+    SchemaValidationError,
+    dag_fingerprint,
+    diff_dags,
+    edge_kinds,
+    export_dag,
+    node_kinds,
+    validate_dag,
+)
+
+__all__ = [
+    "DagBuilder",
+    "DagDiff",
+    "EDGE_KIND_CATALOG",
+    "EdgeKind",
+    "MethodSchema",
+    "NODE_KIND_CATALOG",
+    "NodeKind",
+    "SchemaValidationError",
+    "dag_fingerprint",
+    "diff_dags",
+    "edge_kinds",
+    "export_dag",
+    "method_schema",
+    "node_kinds",
+    "validate_dag",
+]
+
+
+def method_schema(name: str) -> MethodSchema:
+    """Resolve a built-in method name to its declared schema.
+
+    Lazy by design: the method modules import this package for the
+    declaration types, so the reverse lookup must not import them at
+    module load.
+    """
+    if name == "fmm":
+        from repro.methods.fmm import FMM_SCHEMA
+
+        return FMM_SCHEMA
+    if name == "fmm-basic":
+        from repro.methods.fmm import FMM_BASIC_SCHEMA
+
+        return FMM_BASIC_SCHEMA
+    if name in ("bh", "barneshut"):
+        from repro.methods.barneshut import BH_SCHEMA
+
+        return BH_SCHEMA
+    raise KeyError(f"no declared schema for method {name!r}")

@@ -96,6 +96,13 @@ class DAG:
     index: dict[str, dict[int, int]] = field(
         default_factory=lambda: {k: {} for k in NODE_KINDS}
     )
+    #: critical-path priority stamp left by the declarative builder
+    #: (:meth:`repro.dag.schema.DagBuilder.stamp_priorities`): a dict
+    #: with ``levels`` (grading resolution), ``values`` (one level per
+    #: node) and ``cost`` (the cost model graded against, by identity).
+    #: ``None`` until stamped; the registrar falls back to grading
+    #: on the fly when absent or graded differently.
+    priorities: dict | None = None
 
     def add_node(self, kind: str, box_index: int, level: int, tree: str, n_points: int = 0) -> int:
         nid = len(self.nodes)

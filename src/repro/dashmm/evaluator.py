@@ -79,6 +79,17 @@ class DashmmEvaluator:
         default).  ``False`` selects the per-box reference loops; both
         produce identical trees, lists and DAGs, hence identical virtual
         clocks.
+    assembly:
+        ``"declarative"`` (default) materializes the DAG through the
+        method's declared schema and the validated
+        :class:`repro.dag.DagBuilder`; ``"legacy"`` keeps the original
+        imperative assembly (the bit-identity oracle).  Both produce
+        the same graph, potentials and virtual clock.
+    validate_dag:
+        Type-check the built graph against its schema on every build
+        (declarative assembly only).  Off by default on the evaluation
+        hot path - the golden-graph and property suites gate the
+        builder - but cheap enough to enable for debugging.
     """
 
     def __init__(
@@ -98,11 +109,17 @@ class DashmmEvaluator:
         eps: float = 1e-4,
         factory: OperatorFactory | None = None,
         vectorized_setup: bool = True,
+        assembly: str = "declarative",
+        validate_dag: bool = False,
     ):
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}")
+        if assembly not in ("declarative", "legacy"):
+            raise ValueError("assembly must be 'declarative' or 'legacy'")
         self.kernel = kernel
         self.method = method
+        self.assembly = assembly
+        self.validate_dag = validate_dag
         self.threshold = threshold
         self.policy = policy or FmmPolicy()
         self.runtime_config = runtime_config or RuntimeConfig()
@@ -122,17 +139,34 @@ class DashmmEvaluator:
         )
 
     # -- DAG construction -------------------------------------------------------
+    @property
+    def schema(self):
+        """The method's declared DAG schema (:class:`repro.dag.MethodSchema`)."""
+        from repro.dag import method_schema
+
+        return method_schema(self.method)
+
+    def _builder(self):
+        from repro.dag import DagBuilder
+
+        return DagBuilder(self.schema, validate=self.validate_dag)
+
     def build_dag(
         self,
         dual: DualTree,
         lists: InteractionLists | None = None,
     ) -> tuple[DAG, InteractionLists | None]:
         vec = self.vectorized_setup
+        declarative = self.assembly == "declarative"
         if self.method == "bh":
             pairs = mac_pairs(dual, self.theta, vectorized=vec)
+            if declarative:
+                return self._builder().build(dual, mac_pairs=pairs), None
             return build_bh_dag(dual, pairs, vectorized=vec), None
         if lists is None:
             lists = build_lists(dual, vectorized=vec)
+        if declarative:
+            return self._builder().build(dual, lists=lists), lists
         dag = build_fmm_dag(dual, lists, advanced=(self.method == "fmm"), vectorized=vec)
         return dag, lists
 
@@ -196,6 +230,21 @@ class DashmmEvaluator:
         self.policy.assign(dag, dual, self.runtime_config.n_localities)
 
         runtime = Runtime(self._resolved_config())
+        replay_trace = runtime.schedule_trace
+        if self.runtime_config.replay_schedule is not None and replay_trace is not None:
+            # the IR anchors replays: a trace recorded against a different
+            # graph is a structured divergence, not a silent hang
+            want = replay_trace.meta.get("graph_fingerprint")
+            if want is not None:
+                from repro.dag import dag_fingerprint
+                from repro.hpx.scheduler import ReplayDivergence
+
+                have = dag_fingerprint(dag)
+                if have != want:
+                    raise ReplayDivergence(
+                        "replayed trace was recorded against a different DAG "
+                        f"(trace graph {want[:16]}..., built graph {have[:16]}...)"
+                    )
         reg = Registrar(
             runtime,
             dag,
@@ -231,6 +280,10 @@ class DashmmEvaluator:
             extras["hazards"] = runtime.hazards
         trace = runtime.schedule_trace
         if trace is not None:
+            from repro.dag import dag_fingerprint
+
+            trace.meta.setdefault("method", self.method)
+            trace.meta.setdefault("graph_fingerprint", dag_fingerprint(dag))
             extras["schedule_trace"] = trace
         return EvaluationReport(
             potentials=potentials,

@@ -161,6 +161,14 @@ class ExpansionLCO(LCO):
         self._inbox: list = []
         self._unkeyed = 0
 
+    @property
+    def hazard_subject(self) -> str:
+        """IR-derived identity for hazard reports: the DAG node, not an
+        opaque GAS address, so a report names the offending graph
+        element directly."""
+        n = self.node
+        return f"{n.kind}[{n.tree} box {n.box_index} L{n.level}]@{self.addr!r}"
+
     def _fold(self, value, key) -> None:
         self.remaining -= 1
         if value is None:
@@ -322,9 +330,20 @@ class Registrar:
             # policy interposes; graded levels cover the rest
             self._near_ops = frozenset(getattr(pol, "near_ops", ("S2T",)))
             self._filler_level = pol.n_levels - 1
-            self._node_levels = node_priorities(
-                dag, cost_model=self.cost, levels=pol.n_levels - 1
-            )
+            stamp = getattr(dag, "priorities", None)
+            if (
+                stamp is not None
+                and stamp.get("levels") == pol.n_levels - 1
+                and stamp.get("cost") is self.cost
+            ):
+                # the declarative builder already graded this DAG
+                # against the same cost model and resolution
+                # (DagBuilder.stamp_priorities); reuse the stamp
+                self._node_levels = stamp["values"]
+            else:
+                self._node_levels = node_priorities(
+                    dag, cost_model=self.cost, levels=pol.n_levels - 1
+                )
         runtime.register_action("dashmm_edges", self._edges_action)
         # per-evaluation mutable state outside the GAS (lazy/deferred
         # accumulators, the result vector, recorded flush plans) rides

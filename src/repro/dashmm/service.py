@@ -10,11 +10,13 @@ amortizes all of that:
   point set updates the previous tree by splicing or re-carving only
   the dirty Morton ranges; unchanged boxes keep their ids.
 * **DAG templates**: the structural DAG, the LCO network, the box
-  centers and the operator-geometry caches are keyed by the tree-shape
-  fingerprint (:mod:`repro.tree.fingerprint`) and kept alive in a small
-  LRU; a repeat submission with the same shape skips interaction-list
-  construction and DAG assembly entirely and only resets/refills the
-  numeric state.
+  centers and the operator-geometry caches are keyed by the method's
+  declared-schema fingerprint (:meth:`repro.dag.MethodSchema.fingerprint`)
+  plus the tree-shape fingerprint (:mod:`repro.tree.fingerprint`) and
+  kept alive in a small LRU; a repeat submission with the same schema
+  and shape skips interaction-list construction and DAG assembly
+  entirely and only resets/refills the numeric state, while a method
+  (or schema) change misses instead of replaying a stale graph.
 * **A long-lived session**: :class:`EvaluatorSession` exposes
   ``submit(points, charges) -> potentials`` over both backends.  On
   ``sim`` the template's registrar is re-driven in process; on
@@ -340,6 +342,15 @@ class EvaluatorSession:
             "tree_updates": [],
         }
 
+    def _schema_token(self) -> str:
+        """Declared-schema fingerprint of the evaluator's current method.
+
+        Read at submit time, not cached: a session whose evaluator's
+        method is swapped mid-life must key fresh templates under the
+        new schema.
+        """
+        return self.evaluator.schema.fingerprint()
+
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
         """Release templates and shut down parallel workers (idempotent)."""
@@ -433,7 +444,11 @@ class EvaluatorSession:
             )
         self.stats["tree_updates"].append(info)
 
-        shape = dual_shape_fingerprint(dual)
+        # templates are keyed by (schema fingerprint, tree shape): the
+        # declared method schema is the identity of the graph-shaping
+        # rules, so swapping the evaluator's method (or editing a
+        # schema) misses instead of replaying a stale template
+        shape = (self._schema_token(), dual_shape_fingerprint(dual))
         tpl = self._templates.get(shape)
         if tpl is None:
             self.stats["template_misses"] += 1
@@ -607,7 +622,7 @@ class EvaluatorSession:
             self._parallel = None
             raise
         self.stats["tree_updates"].append(info["tree"])
-        shape = info["shape"]
+        shape = (self._schema_token(), info["shape"])
         if shape in self._shapes_seen:
             self.stats["template_hits"] += 1
         else:

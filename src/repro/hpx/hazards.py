@@ -205,6 +205,12 @@ class HazardDetector:
 
     # -- LCO hooks (called from repro.hpx.lco) ----------------------------------------
     def _lco_subject(self, lco) -> str:
+        # LCOs bound to a DAG-IR node (repro.dag.schema) self-describe:
+        # reports then name the node kind/tree/box instead of a bare
+        # address.  Detection and per-subject capping are unchanged.
+        subject = getattr(lco, "hazard_subject", None)
+        if subject is not None:
+            return subject
         return f"{type(lco).__name__}@{lco.addr!r}"
 
     def on_lco_set(self, lco, t: float, op_class=None) -> None:

@@ -17,17 +17,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dag import MethodSchema, edge_kinds, node_kinds
 from repro.kernels.base import Kernel
 from repro.kernels.fitops import OperatorFactory
 from repro.tree.dualtree import DualTree, build_dual_tree
 from repro.tree.lists import _ranges
 
+#: Declared DAG schema of Barnes-Hut: source-side multipole chain plus
+#: flat MAC-decided M2T/S2T edges into the target leaves - no local or
+#: intermediate expansions, the shallowest DAG topology in the paper.
+BH_SCHEMA = MethodSchema(
+    name="bh",
+    nodes=node_kinds("S", "M", "T"),
+    edges=edge_kinds("S2M", "M2M", "M2T", "S2T"),
+    assembly=("source-upward", "bh-mac"),
+)
+
 #: Scheduling classification of the Barnes-Hut operator classes (see
-#: the FMM counterpart in :mod:`repro.methods.fmm`): the direct S->T
-#: stream is near-field filler, the multipole pipeline and its leaf
-#: evaluations are far-field.
-NEAR_FIELD_OPS = ("S2T",)
-FAR_FIELD_OPS = ("S2M", "M2M", "M2T")
+#: the FMM counterpart in :mod:`repro.methods.fmm`), derived from the
+#: declared schema: the direct S->T stream is near-field filler, the
+#: multipole pipeline and its leaf evaluations are far-field.
+NEAR_FIELD_OPS = BH_SCHEMA.near_ops
+FAR_FIELD_OPS = BH_SCHEMA.far_ops
 
 
 @dataclass

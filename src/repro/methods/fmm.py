@@ -22,13 +22,53 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dag import MethodSchema, edge_kinds, node_kinds
 from repro.kernels.base import Kernel
 from repro.kernels.expo import DIRECTIONS, assign_direction
 from repro.kernels.fitops import OperatorFactory
 from repro.tree.dualtree import DualTree, build_dual_tree
 from repro.tree.lists import InteractionLists, build_lists, list_pairs
 
-#: Scheduling classification of the FMM's operator classes.  Near-field
+#: Declared DAG schema of the advanced (merge-and-shift) FMM: node and
+#: operator kinds drawn from the shared catalogs plus the ordered wiring
+#: rules the validated builder (:class:`repro.dag.DagBuilder`) runs to
+#: materialize the graph.  List-2 interactions route through the
+#: intermediate exponential expansions (M2I/I2I/I2L).
+FMM_SCHEMA = MethodSchema(
+    name="fmm",
+    nodes=node_kinds("S", "M", "Is", "It", "L", "T"),
+    edges=edge_kinds(
+        "S2M", "M2M", "M2I", "I2I", "I2L", "S2L", "L2L", "M2T", "L2T", "S2T"
+    ),
+    assembly=(
+        "source-upward",
+        "target-downward",
+        "list2-merge-shift",
+        "list3-m2t",
+        "list4-s2l",
+        "list1-s2t",
+    ),
+)
+
+#: The basic eight-operator FMM: same up/down chains and adaptive lists,
+#: but every list-2 interaction is a direct M2L translation (no
+#: intermediate expansions, up to 189 translations per box).
+FMM_BASIC_SCHEMA = MethodSchema(
+    name="fmm-basic",
+    nodes=node_kinds("S", "M", "L", "T"),
+    edges=edge_kinds("S2M", "M2M", "M2L", "S2L", "L2L", "M2T", "L2T", "S2T"),
+    assembly=(
+        "source-upward",
+        "target-downward",
+        "list2-direct",
+        "list3-m2t",
+        "list4-s2l",
+        "list1-s2t",
+    ),
+)
+
+#: Scheduling classification of the FMM's operator classes, derived
+#: from the declared schemas (union over both variants).  Near-field
 #: work is the direct particle-particle (P2P) stream - the abundant,
 #: dependency-free S->T interactions any idle core can chew on at any
 #: time.  Far-field work is everything touching an expansion: the
@@ -37,18 +77,11 @@ from repro.tree.lists import InteractionLists, build_lists, list_pairs
 #: leaves.  An interleaving policy
 #: (:class:`repro.hpx.scheduler.CriticalPathPolicy`) uses this split to
 #: pipeline the near-field stream under far-field (M2L) bursts.
-NEAR_FIELD_OPS = ("S2T",)
-FAR_FIELD_OPS = (
-    "S2M",
-    "M2M",
-    "M2L",
-    "M2I",
-    "I2I",
-    "I2L",
-    "S2L",
-    "L2L",
-    "M2T",
-    "L2T",
+NEAR_FIELD_OPS = tuple(
+    dict.fromkeys(FMM_SCHEMA.near_ops + FMM_BASIC_SCHEMA.near_ops)
+)
+FAR_FIELD_OPS = tuple(
+    dict.fromkeys(FMM_SCHEMA.far_ops + FMM_BASIC_SCHEMA.far_ops)
 )
 
 

@@ -1,0 +1,86 @@
+"""Golden-graph regression suite.
+
+``tests/goldens/`` pins the canonical export and fingerprint of every
+built-in method's DAG over two fixed point sets (see
+``tests/goldens/generate.py``).  These tests rebuild each graph and
+require an *empty* structural diff and an exact fingerprint match, so a
+refactor of the assembly (declarative or legacy) cannot silently
+reshape the graph.  An intentional graph change regenerates with
+
+    PYTHONPATH=src python tests/goldens/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dag import dag_fingerprint, diff_dags, export_dag
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+sys.path.insert(0, str(GOLDEN_DIR))
+import generate  # noqa: E402  (the golden workload definitions)
+
+CELLS = [
+    (m, k, ps)
+    for m in generate.METHODS
+    for k in generate.KERNELS
+    for ps in generate.POINT_SETS
+]
+
+
+@pytest.fixture(scope="module")
+def fingerprints():
+    return json.loads((GOLDEN_DIR / "fingerprints.json").read_text())
+
+
+@pytest.mark.parametrize("method,kernel,ps", CELLS)
+def test_fingerprint_matches_golden(fingerprints, method, kernel, ps):
+    _, dag = generate.build(method, kernel, ps)
+    assert fingerprints[f"{method}/{kernel}/{ps}"] == dag_fingerprint(dag)
+
+
+@pytest.mark.parametrize(
+    "method,ps",
+    [(m, ps) for m in generate.METHODS for ps in generate.POINT_SETS],
+)
+def test_rebuild_diffs_empty_against_export(method, ps):
+    golden = json.loads((GOLDEN_DIR / f"{method}_{ps}.json").read_text())
+    schema, dag = generate.build(method, "laplace", ps)
+    d = diff_dags(golden, export_dag(dag, schema))
+    assert d.empty, d.report()
+
+
+def test_graph_is_kernel_independent(fingerprints):
+    """The committed table itself certifies the kernel axis: for every
+    method x point set, both kernels pinned the same fingerprint."""
+    for method in generate.METHODS:
+        for ps in generate.POINT_SETS:
+            cells = {
+                fingerprints[f"{method}/{k}/{ps}"] for k in generate.KERNELS
+            }
+            assert len(cells) == 1, (method, ps)
+
+
+def test_goldens_cover_every_declared_operator():
+    """Between the committed exports, every edge kind of every schema
+    actually occurs - no operator class escapes the regression net."""
+    from repro.dag import method_schema
+
+    seen: set[str] = set()
+    for method in generate.METHODS:
+        for ps in generate.POINT_SETS:
+            ex = json.loads((GOLDEN_DIR / f"{method}_{ps}.json").read_text())
+            seen |= {row[0] for row in ex["edges"]}
+    declared = set()
+    for method in generate.METHODS:
+        declared |= set(method_schema(method).ops)
+    assert declared <= seen, declared - seen
+
+
+def test_generate_check_mode_passes():
+    exports, fps = generate.generate()
+    assert generate.check(exports, fps) == []

@@ -170,6 +170,39 @@ def test_submit_many_coalesces_and_preserves_order(evaluator, cloud):
         assert np.allclose(out[1], refB)
 
 
+def test_template_key_includes_schema_fingerprint(evaluator, cloud):
+    """The template LRU keys on (declared-schema fingerprint, tree
+    shape): a repeated shape under the same schema hits, swapping the
+    method - same points, same shape - misses instead of replaying the
+    other method's graph, and the results stay bit-identical to cold
+    evaluation per method."""
+    rng, pts, w = cloud
+    cold_basic = DashmmEvaluator(
+        evaluator.kernel,
+        method="fmm-basic",
+        threshold=evaluator.threshold,
+        runtime_config=evaluator.runtime_config,
+        factory=evaluator.factory,
+    ).evaluate(pts, w, pts).potentials
+    with EvaluatorSession(evaluator) as sess:
+        first = sess.submit(pts, w)
+        hits0, misses0 = sess.stats["template_hits"], sess.stats["template_misses"]
+        # same schema, same shape: hit
+        sess.submit(pts, w)
+        assert sess.stats["template_hits"] == hits0 + 1
+        # schema change (method swap), same points hence same shape: miss
+        evaluator.method = "fmm-basic"
+        out_basic = sess.submit(pts, w)
+        assert sess.stats["template_misses"] == misses0 + 1
+        assert np.array_equal(out_basic, cold_basic)
+        # both templates stay cached under their own schema token
+        evaluator.method = "fmm"
+        hits1 = sess.stats["template_hits"]
+        assert np.array_equal(sess.submit(pts, w), first)
+        assert sess.stats["template_hits"] == hits1 + 1
+        assert sess.stats["template_misses"] == misses0 + 1
+
+
 def test_barnes_hut_session(kernel, factory, cloud):
     rng, pts, w = cloud
     ev = DashmmEvaluator(
